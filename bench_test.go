@@ -1,0 +1,371 @@
+// Benchmarks that regenerate the paper's evaluation (one per figure
+// and table, Section VI) plus ablations of PCMap's design choices and
+// micro-benchmarks of the hot substrates. Figure benches run reduced
+// instruction budgets per iteration so `go test -bench=.` stays
+// tractable; cmd/pcmapsim runs the full-budget versions.
+package pcmap_test
+
+import (
+	"testing"
+
+	"pcmap/internal/config"
+	"pcmap/internal/ecc"
+	"pcmap/internal/exp"
+	"pcmap/internal/mem"
+	"pcmap/internal/sim"
+	"pcmap/internal/system"
+
+	pcmcore "pcmap/internal/core"
+)
+
+// benchRunner builds a reduced-budget experiment runner.
+func benchRunner() *exp.Runner {
+	r := exp.NewRunner()
+	r.Warmup, r.Measure = 5_000, 40_000
+	r.Parallelism = 1 // deterministic wall-clock per iteration
+	return r
+}
+
+// runSystem executes one workload/variant pair at bench budgets.
+func runSystem(b *testing.B, workload string, v config.Variant) *system.Results {
+	b.Helper()
+	s, err := system.Build(config.Default().WithVariant(v), workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := s.Run(5_000, 40_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig1 regenerates Figure 1's two series for one SPEC program
+// per iteration (reads delayed by writes; latency vs symmetric PCM).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		asym, err := r.Run(exp.Spec{Workload: "cactusADM", Variant: config.Baseline})
+		if err != nil {
+			b.Fatal(err)
+		}
+		symm, err := r.Run(exp.Spec{Workload: "cactusADM", Variant: config.Baseline, Symmetric: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delayed := float64(asym.Mem.ReadsDelayedByWrite.Value()) / float64(asym.Mem.Reads.Value()+1)
+		b.ReportMetric(100*delayed, "%reads-delayed")
+		b.ReportMetric(asym.Mem.ReadLatency.MeanNS()/symm.Mem.ReadLatency.MeanNS(), "latency-vs-symmetric")
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2's dirty-word distribution for the
+// paper's two anchor programs.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cactus := runSystem(b, "cactusADM", config.Baseline)
+		omnet := runSystem(b, "omnetpp", config.Baseline)
+		b.ReportMetric(100*cactus.Mem.DirtyWords.Fraction(1), "%cactus-1word")
+		b.ReportMetric(100*omnet.Mem.DirtyWords.Fraction(1), "%omnetpp-1word")
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8's IRLP comparison (baseline vs
+// full PCMap) on the most intense Table II workload.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := runSystem(b, "canneal", config.Baseline)
+		full := runSystem(b, "canneal", config.RWoWRDE)
+		b.ReportMetric(base.IRLPAvg, "IRLP-baseline")
+		b.ReportMetric(full.IRLPAvg, "IRLP-pcmap")
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9's write-throughput improvement on
+// the write-bound MP4 mix.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := runSystem(b, "MP4", config.Baseline)
+		full := runSystem(b, "MP4", config.RWoWRDE)
+		b.ReportMetric(full.Mem.WriteThroughput()/base.Mem.WriteThroughput(), "write-throughput-x")
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10's effective read latency
+// normalization.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := runSystem(b, "MP6", config.Baseline)
+		full := runSystem(b, "MP6", config.RWoWRDE)
+		b.ReportMetric(full.Mem.ReadLatency.MeanNS()/base.Mem.ReadLatency.MeanNS(), "read-latency-norm")
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11's IPC improvement for one MT
+// and one MP workload.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range []string{"canneal", "MP1"} {
+			base := runSystem(b, w, config.Baseline)
+			full := runSystem(b, w, config.RWoWRDE)
+			b.ReportMetric(100*(full.IPCSum/base.IPCSum-1), "%ipc-"+w)
+		}
+	}
+}
+
+// BenchmarkTable2 checks the RPKI/WPKI calibration against Table II.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := runSystem(b, "MP4", config.Baseline)
+		b.ReportMetric(res.RPKI, "RPKI(target-8.05)")
+		b.ReportMetric(res.WPKI, "WPKI(target-5.65)")
+	}
+}
+
+// BenchmarkTable3 regenerates one cell of the Table III sensitivity
+// sweep (write-to-read ratio 8x).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		base, err := r.Run(exp.Spec{Workload: "MP6", Variant: config.Baseline, WriteToReadRatio: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, err := r.Run(exp.Spec{Workload: "MP6", Variant: config.RWoWRDE, WriteToReadRatio: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(full.IPCSum/base.IPCSum-1), "%ipc-at-8x")
+	}
+}
+
+// BenchmarkTable4 regenerates the rollback-cost comparison on canneal.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		faulty, err := r.Run(exp.Spec{Workload: "canneal", Variant: config.RWoWRDE, FaultMode: "always"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clean, err := r.Run(exp.Spec{Workload: "canneal", Variant: config.RWoWRDE, FaultMode: "never"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*faulty.MaxRollbackPct, "%rollbacks")
+		b.ReportMetric(100*(clean.IPCSum/faulty.IPCSum-1), "%rollback-cost")
+	}
+}
+
+// --- Ablations of the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationRotation isolates the two rotation schemes at fixed
+// RoW+WoW: the Section IV-C2 contribution.
+func BenchmarkAblationRotation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nr := runSystem(b, "MP4", config.RWoWNR)
+		rd := runSystem(b, "MP4", config.RWoWRD)
+		rde := runSystem(b, "MP4", config.RWoWRDE)
+		b.ReportMetric(nr.IRLPAvg, "IRLP-norotation")
+		b.ReportMetric(rd.IRLPAvg, "IRLP-data-rotation")
+		b.ReportMetric(rde.IRLPAvg, "IRLP-full-rotation")
+		b.ReportMetric(rde.WearCV, "wearCV-full-rotation")
+	}
+}
+
+// BenchmarkAblationRoWMultiWord measures the Section IV-B4 extension:
+// splitting multi-word writes into serial single-word RoW steps.
+func BenchmarkAblationRoWMultiWord(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, multi := range []bool{false, true} {
+			cfg := config.Default().WithVariant(config.RWoWRDE)
+			cfg.Memory.RoWMultiWord = multi
+			s, err := system.Build(cfg, "canneal")
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Run(5_000, 40_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			name := "ipc-1word-row"
+			if multi {
+				name = "ipc-multiword-row"
+			}
+			b.ReportMetric(res.IPCSum, name)
+		}
+	}
+}
+
+// BenchmarkAblationDrainThreshold sweeps the write-drain high-water
+// mark (the alpha of Section II-B).
+func BenchmarkAblationDrainThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, alpha := range []float64{0.6, 0.8, 0.95} {
+			cfg := config.Default().WithVariant(config.RWoWRDE)
+			cfg.Memory.DrainHighPct = alpha
+			s, err := system.Build(cfg, "MP6")
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Run(5_000, 40_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.IPCSum, ipcName(alpha))
+		}
+	}
+}
+
+func ipcName(alpha float64) string {
+	switch alpha {
+	case 0.6:
+		return "ipc-alpha60"
+	case 0.8:
+		return "ipc-alpha80"
+	default:
+		return "ipc-alpha95"
+	}
+}
+
+// BenchmarkAblationStatusPoll measures the DIMM-register polling cost.
+func BenchmarkAblationStatusPoll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cycles := range []int{0, 2, 8} {
+			cfg := config.Default().WithVariant(config.RWoWRDE)
+			cfg.Memory.StatusPollCycles = cycles
+			s, err := system.Build(cfg, "MP1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Run(5_000, 40_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch cycles {
+			case 0:
+				b.ReportMetric(res.IPCSum, "ipc-poll0")
+			case 2:
+				b.ReportMetric(res.IPCSum, "ipc-poll2")
+			default:
+				b.ReportMetric(res.IPCSum, "ipc-poll8")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationConcurrentWrites sweeps the WoW scheduler's
+// outstanding-write bound.
+func BenchmarkAblationConcurrentWrites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{1, 2, 4} {
+			cfg := config.Default().WithVariant(config.RWoWRDE)
+			cfg.Memory.MaxConcurrentWrites = n
+			s, err := system.Build(cfg, "MP4")
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Run(5_000, 40_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch n {
+			case 1:
+				b.ReportMetric(res.Mem.WriteThroughput(), "wthr-max1")
+			case 2:
+				b.ReportMetric(res.Mem.WriteThroughput(), "wthr-max2")
+			default:
+				b.ReportMetric(res.Mem.WriteThroughput(), "wthr-max4")
+			}
+		}
+	}
+}
+
+// --- Micro-benchmarks of the substrates ---
+
+// BenchmarkSECDEDEncode measures the Hamming(72,64) encoder.
+func BenchmarkSECDEDEncode(b *testing.B) {
+	rng := sim.NewRNG(1)
+	words := make([]uint64, 1024)
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	var sink uint8
+	for i := 0; i < b.N; i++ {
+		sink ^= ecc.Encode64(words[i&1023])
+	}
+	_ = sink
+}
+
+// BenchmarkSECDEDCorrect measures single-bit correction.
+func BenchmarkSECDEDCorrect(b *testing.B) {
+	data := uint64(0x0123456789abcdef)
+	check := ecc.Encode64(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		corrupt := data ^ (1 << uint(i&63))
+		if got, _ := ecc.Check64(corrupt, check); got != data {
+			b.Fatal("correction failed")
+		}
+	}
+}
+
+// BenchmarkPCCReconstruct measures the RoW XOR reconstruction path.
+func BenchmarkPCCReconstruct(b *testing.B) {
+	var line [64]byte
+	rng := sim.NewRNG(3)
+	for i := range line {
+		line[i] = byte(rng.Uint64())
+	}
+	pcc := ecc.PCCLine(&line)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= ecc.ReconstructWord(&line, i&7, pcc)
+	}
+	_ = sink
+}
+
+// BenchmarkEngine measures raw event throughput of the simulator core.
+func BenchmarkEngine(b *testing.B) {
+	eng := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(sim.MemCycle, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.Schedule(0, tick)
+	eng.Run()
+}
+
+// BenchmarkControllerRequests measures end-to-end requests/second
+// through a full PCMap controller (open loop, mixed traffic).
+func BenchmarkControllerRequests(b *testing.B) {
+	cfg := config.Default().WithVariant(config.RWoWRDE)
+	eng := sim.NewEngine()
+	m, err := pcmcore.NewMemory(eng, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(rng.Intn(1<<20)) * 64
+		var req *mem.Request
+		if i%3 == 0 {
+			req = &mem.Request{Kind: mem.Read, Addr: addr}
+		} else {
+			req = &mem.Request{Kind: mem.Write, Addr: addr, Mask: 1 << uint(i&7)}
+		}
+		for !m.Submit(req) {
+			if !eng.Step() {
+				b.Fatal("engine drained with full queues")
+			}
+		}
+	}
+	eng.Run()
+}

@@ -1,0 +1,151 @@
+// Command pcmapsim regenerates the paper's evaluation: every figure
+// and table of "Boosting Access Parallelism to PCM-Based Main Memory"
+// (ISCA 2016), on the simulator this repository implements.
+//
+// Usage:
+//
+//	pcmapsim -exp fig8                 # one experiment
+//	pcmapsim -exp all -json out.json   # everything, plus raw series
+//	pcmapsim -exp fig11 -avgmt         # include the Average(MT) PARSEC sweep
+//	pcmapsim -exp adhoc -workload MP4 -variant RWoW-RDE
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pcmap/internal/config"
+	"pcmap/internal/exp"
+)
+
+func main() {
+	var (
+		expName  = flag.String("exp", "headline", "experiment: fig1,fig2,fig8,fig9,fig10,fig11,table2,table3,table4,headline,all,adhoc")
+		warmup   = flag.Uint64("warmup", 40_000, "warmup instructions per core")
+		measure  = flag.Uint64("measure", 400_000, "measured instructions per core")
+		avgmt    = flag.Bool("avgmt", false, "include the full 13-program PARSEC Average(MT) sweep")
+		format   = flag.String("format", "md", "output format: md or csv")
+		jsonPath = flag.String("json", "", "also write raw series as JSON to this file")
+		par      = flag.Int("par", 0, "parallel simulations (0 = NumCPU)")
+		verbose  = flag.Bool("v", false, "print per-run progress")
+		workload = flag.String("workload", "MP4", "adhoc: workload mix")
+		variant  = flag.String("variant", "RWoW-RDE", "adhoc: system variant")
+		ratio    = flag.Float64("ratio", 0, "adhoc: write-to-read latency ratio override (0 = default 2x)")
+		pausing  = flag.Bool("pausing", false, "adhoc: enable the write-pausing comparator (baseline only)")
+	)
+	flag.Parse()
+
+	r := exp.NewRunner()
+	r.Warmup, r.Measure, r.Parallelism = *warmup, *measure, *par
+	if *verbose {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	if *expName == "adhoc" {
+		if err := runAdhoc(r, *workload, *variant, *ratio, *pausing); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	type expFn func() (*exp.FigureResult, error)
+	table := map[string]expFn{
+		"fig1":      func() (*exp.FigureResult, error) { return exp.Fig1(r) },
+		"fig2":      func() (*exp.FigureResult, error) { return exp.Fig2(r) },
+		"fig8":      func() (*exp.FigureResult, error) { return exp.Fig8(r, *avgmt) },
+		"fig9":      func() (*exp.FigureResult, error) { return exp.Fig9(r, *avgmt) },
+		"fig10":     func() (*exp.FigureResult, error) { return exp.Fig10(r, *avgmt) },
+		"fig11":     func() (*exp.FigureResult, error) { return exp.Fig11(r, *avgmt) },
+		"table2":    func() (*exp.FigureResult, error) { return exp.Table2(r) },
+		"table3":    func() (*exp.FigureResult, error) { return exp.Table3(r) },
+		"table4":    func() (*exp.FigureResult, error) { return exp.Table4(r) },
+		"headline":  func() (*exp.FigureResult, error) { return exp.Headline(r, *avgmt) },
+		"pausing":   func() (*exp.FigureResult, error) { return exp.Pausing(r) },
+		"ablations": func() (*exp.FigureResult, error) { return exp.Ablations(r) },
+	}
+	order := []string{"fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "table2", "table3", "table4", "headline", "pausing", "ablations"}
+
+	var names []string
+	if *expName == "all" {
+		names = order
+	} else {
+		for _, n := range strings.Split(*expName, ",") {
+			if _, ok := table[n]; !ok {
+				fatal(fmt.Errorf("unknown experiment %q (want one of %s, all, adhoc)", n, strings.Join(order, ", ")))
+			}
+			names = append(names, n)
+		}
+	}
+
+	var results []*exp.FigureResult
+	for _, n := range names {
+		f, err := table[n]()
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, f)
+		if *format == "csv" {
+			fmt.Println(f.Table.CSV())
+		} else {
+			fmt.Println(f.Table.Markdown())
+		}
+		for _, note := range f.Notes {
+			fmt.Printf("> %s\n", note)
+		}
+		fmt.Println()
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+}
+
+func runAdhoc(r *exp.Runner, workload, variantName string, ratio float64, pausing bool) error {
+	var variant config.Variant
+	found := false
+	for _, v := range config.Variants {
+		if v.String() == variantName {
+			variant, found = v, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown variant %q", variantName)
+	}
+	res, err := r.Run(exp.Spec{Workload: workload, Variant: variant, WriteToReadRatio: ratio, WritePausing: pausing})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload          %s\n", res.Workload)
+	fmt.Printf("variant           %s\n", res.Variant)
+	fmt.Printf("IPC (sum)         %.3f\n", res.IPCSum)
+	fmt.Printf("RPKI / WPKI       %.2f / %.2f\n", res.RPKI, res.WPKI)
+	fmt.Printf("IRLP avg / max    %.2f / %d\n", res.IRLPAvg, res.IRLPMax)
+	fmt.Printf("read latency      %.1f ns (p95 %.1f ns)\n",
+		res.Mem.ReadLatency.MeanNS(), res.Mem.ReadLatency.PercentileNS(95))
+	fmt.Printf("write throughput  %.2f writes/us\n", res.Mem.WriteThroughput())
+	fmt.Printf("reads delayed     %.1f%%\n",
+		100*float64(res.Mem.ReadsDelayedByWrite.Value())/float64(res.Mem.Reads.Value()+1))
+	fmt.Printf("RoW served        %d (verifies %d, faulty %d)\n",
+		res.Mem.RoWServed.Value(), res.Mem.RoWVerifies.Value(), res.Mem.RoWFaulty.Value())
+	fmt.Printf("WoW overlapped    %d\n", res.Mem.WoWOverlapped.Value())
+	fmt.Printf("rollbacks         %d\n", res.Rollbacks)
+	fmt.Printf("wear imbalance    %.3f (CV of per-chip writes)\n", res.WearCV)
+	fmt.Printf("write pauses      %d\n", res.Mem.WritePauses.Value())
+	fmt.Printf("energy            %s\n", res.Energy)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcmapsim:", err)
+	os.Exit(1)
+}

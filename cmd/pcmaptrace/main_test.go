@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenInfoReplayRoundTrip exercises the tool end to end: generate a
+// trace from a real workload run, inspect it, and replay it against a
+// PCMap variant.
+func TestGenInfoReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.trc")
+
+	if err := cmdGen([]string{"-workload", "MP4", "-instr", "20000", "-out", out}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	st, err := os.Stat(out)
+	if err != nil || st.Size() <= 16 {
+		t.Fatalf("trace not written: %v (size %d)", err, st.Size())
+	}
+	if err := cmdInfo([]string{"-in", out}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := cmdReplay([]string{"-in", out, "-variant", "RWoW-RDE"}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := cmdReplay([]string{"-in", out, "-variant", "Baseline"}); err != nil {
+		t.Fatalf("replay baseline: %v", err)
+	}
+}
+
+func TestReplayRejectsUnknownVariant(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.trc")
+	if err := cmdGen([]string{"-workload", "dedup", "-instr", "5000", "-out", out}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := cmdReplay([]string{"-in", out, "-variant", "NoSuch"}); err == nil {
+		t.Fatal("unknown variant must error")
+	}
+}
+
+func TestInfoRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.trc")
+	os.WriteFile(bad, []byte("not a trace"), 0o644)
+	if err := cmdInfo([]string{"-in", bad}); err == nil {
+		t.Fatal("garbage input must error")
+	}
+}

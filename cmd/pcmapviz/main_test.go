@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarScaling(t *testing.T) {
+	if got := bar(10, 10); len([]rune(got)) != barWidth {
+		t.Fatalf("full bar has %d cells, want %d", len([]rune(got)), barWidth)
+	}
+	if got := bar(5, 10); len([]rune(got)) != barWidth/2 {
+		t.Fatalf("half bar has %d cells", len([]rune(got)))
+	}
+	if got := bar(0, 10); got != "" {
+		t.Fatalf("zero bar %q", got)
+	}
+	if got := bar(20, 10); len([]rune(got)) != barWidth {
+		t.Fatal("overflow must clamp")
+	}
+}
+
+func TestNegativeBarsMarked(t *testing.T) {
+	got := bar(-5, 10)
+	if !strings.Contains(got, "▒") || strings.Contains(got, "█") {
+		t.Fatalf("negative bar should use the regression glyph: %q", got)
+	}
+}
+
+func TestColumnSetStable(t *testing.T) {
+	m := map[string]map[string]float64{
+		"r1": {"b": 1, "a": 2},
+		"r2": {"c": 3},
+	}
+	cols := columnSet(m)
+	if len(cols) != 3 || cols[0] != "a" || cols[1] != "b" || cols[2] != "c" {
+		t.Fatalf("columns %v", cols)
+	}
+	rows := sortedKeys(m)
+	if rows[0] != "r1" || rows[1] != "r2" {
+		t.Fatalf("rows %v", rows)
+	}
+}

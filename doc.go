@@ -1,0 +1,18 @@
+// Package pcmap is a from-scratch Go reproduction of "Boosting Access
+// Parallelism to PCM-Based Main Memory" (Arjomand, Kandemir,
+// Sivasubramaniam, Das — ISCA 2016).
+//
+// The repository implements the paper's PCMap memory controller (RoW
+// read-over-write via PCC parity reconstruction, WoW write
+// consolidation, data-word and ECC/PCC rotation) together with every
+// substrate its evaluation depends on: a discrete-event simulator, a
+// DDR3-style PCM device/DIMM model with rank subsetting, a Hamming
+// SECDED codec, a three-level cache hierarchy with a MOESI directory
+// and a mesh NoC, interval-model out-of-order cores, and calibrated
+// synthetic models of the SPEC CPU 2006 / PARSEC-2 / STREAM workloads.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate every figure and table of the
+// paper's evaluation section.
+package pcmap

@@ -1,0 +1,78 @@
+// Endurance: the lifetime side of the paper's story. PCMap's rotation
+// spreads programming across chips (Section IV-C2 argues better
+// lifetime than the baseline); Start-Gap wear leveling (cited as
+// orthogonal) rotates lines within chips; differential writes keep the
+// programming energy proportional to changed bits. This example runs
+// the same write-heavy workload under four configurations and reports
+// per-chip wear, leveling overhead, and energy.
+//
+//	go run ./examples/endurance
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"pcmap/internal/config"
+	"pcmap/internal/energy"
+	"pcmap/internal/system"
+)
+
+func main() {
+	type setup struct {
+		name    string
+		variant config.Variant
+		psi     uint64
+	}
+	setups := []setup{
+		{"baseline", config.Baseline, 0},
+		{"baseline + Start-Gap", config.Baseline, 100},
+		{"PCMap (rotation)", config.RWoWRDE, 0},
+		{"PCMap + Start-Gap", config.RWoWRDE, 100},
+	}
+
+	fmt.Printf("%-22s %10s %10s %10s %14s\n",
+		"configuration", "wear CV", "gap moves", "IPC", "write energy")
+	for _, su := range setups {
+		cfg := config.Default().WithVariant(su.variant)
+		cfg.Memory.WearLevelPsi = su.psi
+		s, err := system.Build(cfg, "MP4") // astar x8: the write-heaviest mix
+		if err != nil {
+			panic(err)
+		}
+		res, err := s.Run(10_000, 80_000)
+		if err != nil {
+			panic(err)
+		}
+		perLine := energy.Default().WriteEnergyPerLineUJ(s.Mem.Ctrls[0].Rank(), s.Mem.Ctrls[0].Metrics)
+		fmt.Printf("%-22s %10.3f %10d %10.2f %11.4fuJ\n",
+			su.name, res.WearCV, res.Mem.WearMoves.Value(), res.IPCSum, perLine)
+	}
+
+	fmt.Println("\nper-chip programming share, channel 0 (D=data, E=ECC, P=PCC):")
+	for _, su := range []setup{{"baseline", config.Baseline, 0}, {"PCMap (rotation)", config.RWoWRDE, 0}} {
+		cfg := config.Default().WithVariant(su.variant)
+		s, err := system.Build(cfg, "MP4")
+		if err != nil {
+			panic(err)
+		}
+		if _, err := s.Run(10_000, 80_000); err != nil {
+			panic(err)
+		}
+		total, per := s.Mem.Ctrls[0].Rank().TotalWordWrites()
+		fmt.Printf("  %-18s", su.name)
+		labels := []string{"D0", "D1", "D2", "D3", "D4", "D5", "D6", "D7", "E", "P"}
+		for i, n := range per {
+			share := 0.0
+			if total > 0 {
+				share = float64(n) / float64(total)
+			}
+			bar := strings.Repeat("#", int(share*40))
+			fmt.Printf("\n    %-3s %5.1f%% %s", labels[i], share*100, bar)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nWithout rotation the ECC and PCC chips absorb a programming share far")
+	fmt.Println("above the data chips'; full rotation flattens the histogram — the")
+	fmt.Println("paper's lifetime argument, measured.")
+}

@@ -1,0 +1,3 @@
+module pcmap
+
+go 1.22

@@ -1,0 +1,196 @@
+// Package cache implements the three-level hierarchy of Table I: split
+// write-through L1s, a shared write-back L2 with a MOESI directory, and
+// a 256 MB DRAM LLC (NUCA, 8 banks), all in front of the PCM main
+// memory. Caches track tags plus per-8B-word dirty masks — the masks
+// are the paper's central measured quantity: they flow from the cores'
+// stores through L2 and LLC write-backs into the PCM controller's
+// essential-word machinery.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pcmap/internal/config"
+)
+
+// entry is one cache line's bookkeeping (tags only; functional data
+// lives at the PCM store, see DESIGN.md).
+type entry struct {
+	tag   uint64
+	lru   uint32
+	valid bool
+	dirty bool
+	// essMask marks the 8B words whose values actually changed (the
+	// "essential" words); dirty can be set with essMask == 0 — that is
+	// a silent store, Figure 2's 0-word bucket.
+	essMask uint8
+}
+
+// Victim describes a line evicted by an insertion.
+type Victim struct {
+	Addr    uint64
+	Dirty   bool
+	EssMask uint8
+}
+
+// Cache is a set-associative, true-LRU cache. Sets are allocated
+// lazily so a 256 MB LLC costs memory proportional to its touched
+// footprint.
+type Cache struct {
+	name      string
+	sets      [][]entry
+	ways      int
+	lineBytes int
+	lineShift uint
+	setMask   uint64
+	clock     uint32
+
+	Hits, Misses, Evictions, Writebacks uint64
+}
+
+// New builds a cache from its configured geometry.
+func New(name string, lvl config.CacheLevel) *Cache {
+	numSets := lvl.SizeBytes / int64(lvl.Ways*lvl.LineBytes)
+	c := &Cache{
+		name:      name,
+		sets:      make([][]entry, numSets),
+		ways:      lvl.Ways,
+		lineBytes: lvl.LineBytes,
+		lineShift: uint(bits.TrailingZeros(uint(lvl.LineBytes))),
+		setMask:   uint64(numSets - 1),
+	}
+	return c
+}
+
+// LineBytes returns the cache's line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// Align returns addr rounded down to this cache's line size.
+func (c *Cache) Align(addr uint64) uint64 { return addr &^ uint64(c.lineBytes-1) }
+
+func (c *Cache) locate(addr uint64) (set []entry, tag uint64, idx uint64) {
+	line := addr >> c.lineShift
+	idx = line & c.setMask
+	tag = line >> bits.TrailingZeros64(c.setMask+1)
+	return c.sets[idx], tag, idx
+}
+
+func (c *Cache) find(addr uint64) *entry {
+	set, tag, _ := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Lookup probes for addr's line, updating LRU on hit.
+func (c *Cache) Lookup(addr uint64) bool {
+	e := c.find(addr)
+	if e == nil {
+		c.Misses++
+		return false
+	}
+	c.clock++
+	e.lru = c.clock
+	c.Hits++
+	return true
+}
+
+// Present probes without touching LRU or hit/miss counters.
+func (c *Cache) Present(addr uint64) bool { return c.find(addr) != nil }
+
+// Insert fills addr's line, returning the evicted victim, if any. The
+// line starts clean. Inserting an already-present line refreshes it.
+func (c *Cache) Insert(addr uint64) (Victim, bool) {
+	if e := c.find(addr); e != nil {
+		c.clock++
+		e.lru = c.clock
+		return Victim{}, false
+	}
+	set, tag, idx := c.locate(addr)
+	if set == nil {
+		set = make([]entry, 0, c.ways)
+		c.sets[idx] = set
+	}
+	c.clock++
+	if len(set) < c.ways {
+		c.sets[idx] = append(set, entry{tag: tag, valid: true, lru: c.clock})
+		return Victim{}, false
+	}
+	// Evict the true-LRU way.
+	vi := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	v := Victim{
+		Addr:    c.addrOf(set[vi].tag, idx),
+		Dirty:   set[vi].dirty,
+		EssMask: set[vi].essMask,
+	}
+	c.Evictions++
+	if v.Dirty {
+		c.Writebacks++
+	}
+	set[vi] = entry{tag: tag, valid: true, lru: c.clock}
+	return v, true
+}
+
+func (c *Cache) addrOf(tag, idx uint64) uint64 {
+	return (tag<<bits.TrailingZeros64(c.setMask+1) | idx) << c.lineShift
+}
+
+// MarkDirty records a write to addr's line: the line becomes dirty and
+// essMask accumulates the changed words. It reports whether the line
+// was present.
+func (c *Cache) MarkDirty(addr uint64, essMask uint8) bool {
+	e := c.find(addr)
+	if e == nil {
+		return false
+	}
+	c.clock++
+	e.lru = c.clock
+	e.dirty = true
+	e.essMask |= essMask
+	return true
+}
+
+// DirtyInfo returns the line's dirty state and essential mask.
+func (c *Cache) DirtyInfo(addr uint64) (present, dirty bool, essMask uint8) {
+	e := c.find(addr)
+	if e == nil {
+		return false, false, 0
+	}
+	return true, e.dirty, e.essMask
+}
+
+// Invalidate drops addr's line, returning its dirty state for the
+// caller to write back.
+func (c *Cache) Invalidate(addr uint64) (wasPresent, wasDirty bool, essMask uint8) {
+	set, tag, _ := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			wasPresent, wasDirty, essMask = true, set[i].dirty, set[i].essMask
+			set[i].valid = false
+			return
+		}
+	}
+	return
+}
+
+// MissRatio reports misses / accesses.
+func (c *Cache) MissRatio() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+func (c *Cache) String() string {
+	return fmt.Sprintf("%s(%d sets x %d ways x %dB)", c.name, len(c.sets), c.ways, c.lineBytes)
+}

@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcmap/internal/config"
+)
+
+func tiny() *Cache {
+	// 4 sets x 2 ways x 64B = 512B.
+	return New("t", config.CacheLevel{SizeBytes: 512, Ways: 2, LineBytes: 64})
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := tiny()
+	if c.Lookup(0x1000) {
+		t.Fatal("cold cache should miss")
+	}
+	c.Insert(0x1000)
+	if !c.Lookup(0x1000) {
+		t.Fatal("inserted line should hit")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := tiny()
+	// Three lines in the same set (set stride = 4*64 = 256B).
+	a, b, d := uint64(0), uint64(1024), uint64(2048)
+	c.Insert(a)
+	c.Insert(b)
+	c.Lookup(a) // a becomes MRU
+	v, had := c.Insert(d)
+	if !had || v.Addr != b {
+		t.Fatalf("should evict LRU line b, got %+v (had=%v)", v, had)
+	}
+	if !c.Present(a) || c.Present(b) || !c.Present(d) {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestDirtyMaskAccumulates(t *testing.T) {
+	c := tiny()
+	c.Insert(0x40)
+	if !c.MarkDirty(0x40, 0b0001) || !c.MarkDirty(0x40, 0b1000) {
+		t.Fatal("MarkDirty on present line failed")
+	}
+	_, dirty, mask := c.DirtyInfo(0x40)
+	if !dirty || mask != 0b1001 {
+		t.Fatalf("dirty=%v mask=%b", dirty, mask)
+	}
+}
+
+func TestSilentStoreDirtiesWithEmptyMask(t *testing.T) {
+	c := tiny()
+	c.Insert(0x80)
+	c.MarkDirty(0x80, 0)
+	_, dirty, mask := c.DirtyInfo(0x80)
+	if !dirty || mask != 0 {
+		t.Fatalf("silent store: dirty=%v mask=%b, want dirty with empty mask", dirty, mask)
+	}
+}
+
+func TestEvictionCarriesMask(t *testing.T) {
+	c := tiny()
+	c.Insert(0)
+	c.MarkDirty(0, 0b0110)
+	c.Insert(1024)
+	v, had := c.Insert(2048) // evicts line 0 (LRU)
+	if !had || !v.Dirty || v.EssMask != 0b0110 {
+		t.Fatalf("victim %+v", v)
+	}
+	if v.Addr != 0 {
+		t.Fatalf("victim addr %#x", v.Addr)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := tiny()
+	c.Insert(0x40)
+	c.MarkDirty(0x40, 0xf)
+	p, d, m := c.Invalidate(0x40)
+	if !p || !d || m != 0xf {
+		t.Fatalf("invalidate returned %v %v %b", p, d, m)
+	}
+	if c.Present(0x40) {
+		t.Fatal("line still present after invalidate")
+	}
+	p, _, _ = c.Invalidate(0x40)
+	if p {
+		t.Fatal("double invalidate should report absent")
+	}
+}
+
+func TestMarkDirtyMissReturnsFalse(t *testing.T) {
+	c := tiny()
+	if c.MarkDirty(0x999000, 1) {
+		t.Fatal("MarkDirty on absent line must fail")
+	}
+}
+
+func TestInsertRefreshesExisting(t *testing.T) {
+	c := tiny()
+	c.Insert(0)
+	c.MarkDirty(0, 0xff)
+	if _, had := c.Insert(0); had {
+		t.Fatal("re-inserting a present line must not evict")
+	}
+	_, dirty, mask := c.DirtyInfo(0)
+	if !dirty || mask != 0xff {
+		t.Fatal("re-insert must keep dirty state")
+	}
+}
+
+func TestSetIsolation(t *testing.T) {
+	// Property: inserting lines never evicts a line from another set.
+	if err := quick.Check(func(a, b uint32) bool {
+		c := tiny()
+		addrA, addrB := uint64(a)&^63, uint64(b)&^63
+		c.Insert(addrA)
+		v, had := c.Insert(addrB)
+		if had && (v.Addr>>6)&3 != (addrB>>6)&3 {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	c := New("x", config.CacheLevel{SizeBytes: 1024, Ways: 2, LineBytes: 32})
+	if c.Align(0x47) != 0x40 {
+		t.Fatalf("align %#x", c.Align(0x47))
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	c := tiny()
+	c.Lookup(0)
+	c.Insert(0)
+	c.Lookup(0)
+	if got := c.MissRatio(); got != 0.5 {
+		t.Fatalf("miss ratio %v", got)
+	}
+}
+
+func TestLargeCacheLazyAllocation(t *testing.T) {
+	// The 256MB LLC must not allocate all its sets up front.
+	c := New("llc", config.Default().DRAMLLC)
+	for i := uint64(0); i < 1000; i++ {
+		c.Insert(i * 64)
+	}
+	allocated := 0
+	for _, s := range c.sets {
+		if s != nil {
+			allocated++
+		}
+	}
+	if allocated > 1000 {
+		t.Fatalf("%d sets allocated for 1000 lines", allocated)
+	}
+}

@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"testing"
+
+	"pcmap/internal/config"
+	"pcmap/internal/core"
+	"pcmap/internal/sim"
+)
+
+func newHierarchy(t *testing.T) (*sim.Engine, *Hierarchy) {
+	t.Helper()
+	cfg := config.Default().WithVariant(config.RWoWRDE)
+	eng := sim.NewEngine()
+	m, err := core.NewMemory(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, NewHierarchy(eng, cfg, m)
+}
+
+func TestLoadMissGoesToMemoryThenHitsL1(t *testing.T) {
+	eng, h := newHierarchy(t)
+	done := false
+	res, _ := h.Load(0, 0x100040, false, func() { done = true })
+	if res != GoesToMemory {
+		t.Fatalf("cold load result %v", res)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("fill callback never ran")
+	}
+	res, lat := h.Load(0, 0x100040, false, nil)
+	if res != HitL1 {
+		t.Fatalf("second load result %v, want L1 hit", res)
+	}
+	if lat != sim.CPUCycle {
+		t.Fatalf("L1 hit latency %v", lat)
+	}
+}
+
+func TestLoadHitsL2AfterOtherHalfFetched(t *testing.T) {
+	eng, h := newHierarchy(t)
+	h.Load(0, 0x200000, false, func() {})
+	eng.Run()
+	// Same 64B line, other 32B half: misses L1 (32B lines), hits L2.
+	res, lat := h.Load(0, 0x200020, false, nil)
+	if res != HitL2 {
+		t.Fatalf("result %v, want L2 hit", res)
+	}
+	if lat <= sim.CPUCycle {
+		t.Fatalf("L2 hit latency %v too small", lat)
+	}
+}
+
+func TestCoalescedMisses(t *testing.T) {
+	eng, h := newHierarchy(t)
+	count := 0
+	h.Load(0, 0x300000, false, func() { count++ })
+	h.Load(1, 0x300000, false, func() { count++ })
+	if h.CoalescedMisses != 1 {
+		t.Fatalf("coalesced %d, want 1", h.CoalescedMisses)
+	}
+	eng.Run()
+	if count != 2 {
+		t.Fatalf("%d callbacks, want 2", count)
+	}
+	if h.MemFetches != 1 {
+		t.Fatalf("%d fetches, want 1 (coalesced)", h.MemFetches)
+	}
+}
+
+func TestStoreDirtiesLineAndWritesBack(t *testing.T) {
+	eng, h := newHierarchy(t)
+	// Store misses everywhere: write-allocate fetch, then dirty.
+	res := h.Store(0, 0x400000, 0b0011, false)
+	if res != GoesToMemory {
+		t.Fatalf("store result %v", res)
+	}
+	eng.Run()
+	_, dirty, mask := h.L2.DirtyInfo(0x400000)
+	if !dirty || mask != 0b0011 {
+		t.Fatalf("L2 line dirty=%v mask=%b", dirty, mask)
+	}
+}
+
+func TestStoreHitL2(t *testing.T) {
+	eng, h := newHierarchy(t)
+	h.Load(0, 0x500000, false, func() {})
+	eng.Run()
+	if res := h.Store(0, 0x500000, 0b100, false); res != HitL2 {
+		t.Fatalf("store to resident line: %v", res)
+	}
+}
+
+func TestSilentStoreProducesZeroMaskWriteback(t *testing.T) {
+	eng, h := newHierarchy(t)
+	res := h.Store(0, 0x600000, 0, false) // silent store
+	if res != GoesToMemory {
+		t.Fatalf("res %v", res)
+	}
+	eng.Run()
+	_, dirty, mask := h.L2.DirtyInfo(0x600000)
+	if !dirty || mask != 0 {
+		t.Fatalf("silent store: dirty=%v mask=%b", dirty, mask)
+	}
+}
+
+func TestCoherenceInvalidationOnRemoteStore(t *testing.T) {
+	eng, h := newHierarchy(t)
+	h.Load(0, 0x700000, false, func() {})
+	eng.Run()
+	if !h.L1[0].Present(0x700000) {
+		t.Fatal("core 0 should cache the line")
+	}
+	h.Store(1, 0x700000, 1, false)
+	eng.Run()
+	if h.L1[0].Present(0x700000) {
+		t.Fatal("remote store must invalidate core 0's L1 copy")
+	}
+	if h.InvalidationsSent == 0 {
+		t.Fatal("no invalidations recorded")
+	}
+}
+
+func TestWritebackReachesPCMWithMask(t *testing.T) {
+	cfg := config.Default().WithVariant(config.Baseline)
+	// Shrink L2 and LLC so evictions happen quickly.
+	cfg.L2.SizeBytes = 8 << 10
+	cfg.DRAMLLC.SizeBytes = 32 << 10
+	eng := sim.NewEngine()
+	m, err := core.NewMemory(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHierarchy(eng, cfg, m)
+	// Dirty many distinct lines to force eviction chains to PCM.
+	for i := uint64(0); i < 4096; i++ {
+		h.Store(0, i*64*4, 0b1, false)
+		eng.Run()
+	}
+	met := m.Metrics()
+	if met.Writes.Value() == 0 {
+		t.Fatal("no PCM write-backs observed")
+	}
+	if met.DirtyWords.Total() == 0 || met.DirtyWords.Fraction(1) < 0.9 {
+		t.Fatalf("write-back masks lost: %v", met.DirtyWords.Buckets())
+	}
+}
+
+func TestHierarchyFiltersMemoryTraffic(t *testing.T) {
+	eng, h := newHierarchy(t)
+	// Re-touch a small working set: after warmup, no PCM traffic.
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 64; i++ {
+			h.Load(0, i*64, false, func() {})
+			eng.Run()
+		}
+	}
+	if h.MemFetches != 64 {
+		t.Fatalf("fetches %d, want 64 (one per distinct line)", h.MemFetches)
+	}
+	if h.L1Hits == 0 {
+		t.Fatal("warm loads should hit L1")
+	}
+}

@@ -1,0 +1,173 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcmap/internal/sim"
+)
+
+func TestFirstLoadGetsExclusive(t *testing.T) {
+	d := NewDirectory()
+	a := d.Load(0x40, 2)
+	if a.ForwardFrom != -1 || a.Invalidate != 0 {
+		t.Fatalf("cold load needs no coherence work: %+v", a)
+	}
+	if d.StateOf(0x40) != Exclusive {
+		t.Fatalf("state %v, want E", d.StateOf(0x40))
+	}
+	if d.Sharers(0x40) != 1<<2 {
+		t.Fatalf("sharers %b", d.Sharers(0x40))
+	}
+}
+
+func TestSecondLoadDegradesToShared(t *testing.T) {
+	d := NewDirectory()
+	d.Load(0x40, 0)
+	a := d.Load(0x40, 1)
+	if a.ForwardFrom != 0 {
+		t.Fatalf("owner should forward, got %+v", a)
+	}
+	if d.StateOf(0x40) != Shared {
+		t.Fatalf("state %v, want S", d.StateOf(0x40))
+	}
+	if d.Sharers(0x40) != 0b11 {
+		t.Fatalf("sharers %b", d.Sharers(0x40))
+	}
+}
+
+func TestStoreInvalidatesSharers(t *testing.T) {
+	d := NewDirectory()
+	for core := 0; core < 4; core++ {
+		d.Load(0x80, core)
+	}
+	a := d.Store(0x80, 2)
+	if a.Invalidate != 0b1011 {
+		t.Fatalf("invalidate mask %b, want cores 0,1,3", a.Invalidate)
+	}
+	if d.StateOf(0x80) != Modified || d.Sharers(0x80) != 1<<2 {
+		t.Fatalf("post-store state %v sharers %b", d.StateOf(0x80), d.Sharers(0x80))
+	}
+	if d.Invalidations != 3 {
+		t.Fatalf("invalidation count %d", d.Invalidations)
+	}
+}
+
+func TestLoadAfterModifiedMakesOwned(t *testing.T) {
+	d := NewDirectory()
+	d.Store(0xc0, 1)
+	a := d.Load(0xc0, 3)
+	if a.ForwardFrom != 1 {
+		t.Fatalf("dirty owner must forward, got %+v", a)
+	}
+	if d.StateOf(0xc0) != Owned {
+		t.Fatalf("state %v, want O (MOESI keeps dirty ownership)", d.StateOf(0xc0))
+	}
+}
+
+func TestStoreStealsDirtyOwnership(t *testing.T) {
+	d := NewDirectory()
+	d.Store(0x100, 0)
+	a := d.Store(0x100, 1)
+	if a.ForwardFrom != 0 || a.Invalidate != 1 {
+		t.Fatalf("store to remote-M should forward+invalidate: %+v", a)
+	}
+	if d.StateOf(0x100) != Modified || d.Sharers(0x100) != 1<<1 {
+		t.Fatal("ownership did not transfer")
+	}
+}
+
+func TestEvictOwnerWritesBack(t *testing.T) {
+	d := NewDirectory()
+	d.Store(0x140, 5)
+	a := d.Evict(0x140, 5)
+	if !a.WriteBack {
+		t.Fatal("evicting the M owner must write back")
+	}
+	if d.StateOf(0x140) != Invalid || d.Entries() != 0 {
+		t.Fatal("line should be untracked after last eviction")
+	}
+}
+
+func TestEvictSharerKeepsLine(t *testing.T) {
+	d := NewDirectory()
+	d.Load(0x180, 0)
+	d.Load(0x180, 1)
+	a := d.Evict(0x180, 1)
+	if a.WriteBack {
+		t.Fatal("clean sharer eviction must not write back")
+	}
+	if d.Sharers(0x180) != 1 {
+		t.Fatalf("sharers %b", d.Sharers(0x180))
+	}
+}
+
+func TestOwnedEvictionWithSharers(t *testing.T) {
+	d := NewDirectory()
+	d.Store(0x1c0, 0)
+	d.Load(0x1c0, 1) // M -> O
+	a := d.Evict(0x1c0, 0)
+	if !a.WriteBack {
+		t.Fatal("O owner eviction must write back")
+	}
+	if d.StateOf(0x1c0) != Shared {
+		t.Fatalf("state %v, want S for surviving sharer", d.StateOf(0x1c0))
+	}
+}
+
+func TestRepeatedAccessIdempotent(t *testing.T) {
+	d := NewDirectory()
+	d.Load(0x200, 0)
+	a := d.Load(0x200, 0)
+	if a.ForwardFrom != -1 || a.Invalidate != 0 {
+		t.Fatal("owner re-reading its own line needs no work")
+	}
+	d.Store(0x200, 0)
+	a = d.Store(0x200, 0)
+	if a.ForwardFrom != -1 || a.Invalidate != 0 {
+		t.Fatal("owner re-writing its own line needs no work")
+	}
+}
+
+// TestProtocolInvariants drives random traffic and checks the MOESI
+// directory invariants after every step.
+func TestProtocolInvariants(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		d := NewDirectory()
+		addrs := []uint64{0x40, 0x80, 0xc0}
+		for i := 0; i < 300; i++ {
+			addr := addrs[rng.Intn(len(addrs))]
+			core := rng.Intn(8)
+			switch rng.Intn(3) {
+			case 0:
+				d.Load(addr, core)
+			case 1:
+				d.Store(addr, core)
+			default:
+				d.Evict(addr, core)
+			}
+			for _, a := range addrs {
+				st := d.StateOf(a)
+				sh := d.Sharers(a)
+				switch st {
+				case Invalid:
+					if sh != 0 {
+						return false
+					}
+				case Exclusive, Modified:
+					if popcount(sh) != 1 {
+						return false
+					}
+				case Shared, Owned:
+					if sh == 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,355 @@
+// Package config holds the configuration tree of the simulated system.
+// Defaults follow Table I of the paper: an 8-core 2.5 GHz out-of-order
+// processor with a three-level cache hierarchy (256 MB DRAM LLC) in
+// front of an 8 GB SLC PCM main memory on 4 DDR3-style channels.
+package config
+
+import (
+	"fmt"
+
+	"pcmap/internal/sim"
+)
+
+// Variant identifies one of the six evaluated memory-system designs
+// (Section V of the paper).
+type Variant int
+
+const (
+	// Baseline prioritizes reads over writes (write queue drain above
+	// the high-water mark) with coarse-grained, whole-rank accesses.
+	Baseline Variant = iota
+	// RoWNR applies Read-over-Write only; no rotation of data words,
+	// no rotation of ECC/PCC.
+	RoWNR
+	// WoWNR applies Write-over-Write only; no rotation.
+	WoWNR
+	// RWoWNR combines RoW and WoW without any rotation.
+	RWoWNR
+	// RWoWRD adds data-word rotation to RWoW (ECC/PCC still fixed).
+	RWoWRD
+	// RWoWRDE additionally rotates the ECC and PCC words across all
+	// ten chips; this is the full PCMap design.
+	RWoWRDE
+)
+
+// Variants lists all evaluated systems in the paper's order.
+var Variants = []Variant{Baseline, RoWNR, WoWNR, RWoWNR, RWoWRD, RWoWRDE}
+
+func (v Variant) String() string {
+	switch v {
+	case Baseline:
+		return "Baseline"
+	case RoWNR:
+		return "RoW-NR"
+	case WoWNR:
+		return "WoW-NR"
+	case RWoWNR:
+		return "RWoW-NR"
+	case RWoWRD:
+		return "RWoW-RD"
+	case RWoWRDE:
+		return "RWoW-RDE"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// RoW reports whether the variant serves reads over ongoing writes.
+func (v Variant) RoW() bool { return v == RoWNR || v == RWoWNR || v == RWoWRD || v == RWoWRDE }
+
+// WoW reports whether the variant consolidates writes over ongoing writes.
+func (v Variant) WoW() bool { return v == WoWNR || v == RWoWNR || v == RWoWRD || v == RWoWRDE }
+
+// RotateData reports whether data words rotate across chips (addr mod 8).
+func (v Variant) RotateData() bool { return v == RWoWRD || v == RWoWRDE }
+
+// RotateECC reports whether the ECC and PCC words rotate across all ten
+// chips (addr mod 10).
+func (v Variant) RotateECC() bool { return v == RWoWRDE }
+
+// FineGrained reports whether the DIMM uses rank subsetting so that a
+// write only occupies the chips holding essential words. Every PCMap
+// variant needs it; the baseline does coarse whole-rank writes.
+func (v Variant) FineGrained() bool { return v != Baseline }
+
+// Core configures one out-of-order core of the interval model.
+type Core struct {
+	ClockGHz    float64 // processor frequency
+	IssueWidth  int     // instructions issued per cycle when unstalled
+	WindowSize  int     // reorder-buffer window (instructions)
+	DataMSHRs   int     // outstanding data misses allowed
+	RollbackPen int     // pipeline-refill cycles charged per rollback
+}
+
+// CacheLevel configures one cache level.
+type CacheLevel struct {
+	SizeBytes int64
+	Ways      int
+	LineBytes int
+	HitCycles int // hit latency in CPU cycles
+	WriteBack bool
+	MSHRs     int
+}
+
+// NoC configures the on-chip mesh network.
+type NoC struct {
+	Rows, Cols   int
+	RouterCycles int // per-hop router latency (CPU cycles)
+	LinkCycles   int // per-hop link latency (CPU cycles)
+	FlitBytes    int
+}
+
+// PCMTiming carries the PCM device timing of Table I. Read/SET/RESET are
+// cell-array latencies; the t* parameters are DDR3 command timings in
+// memory cycles at 400 MHz.
+type PCMTiming struct {
+	ArrayRead sim.Time // read-path row activation / array read (60 ns)
+	// WriteArrayRead is the write path's internal read-before-write
+	// (differential write compare). It equals ArrayRead by default but
+	// stays fixed in the Table III sensitivity sweep, which varies the
+	// read latency while holding the write path constant.
+	WriteArrayRead sim.Time
+	CellSET        sim.Time // SET programming time (120 ns)
+	CellRESET      sim.Time // RESET programming time (50 ns)
+	TCL            int      // CAS latency, memory cycles
+	TWL            int      // write latency (CAS-to-data), memory cycles
+	TCCD           int      // column-to-column delay
+	TWTR           int      // write-to-read turnaround
+	TRTP           int      // read-to-precharge
+	TRP            int      // precharge (row close); PCM arrays need no restore but
+	// the interface keeps the DDR3 timing slot
+	TRRDact int // activate-to-activate (different banks)
+	TBurst  int // data burst length in memory cycles (BL8 on DDR = 4)
+}
+
+// WriteLatency returns the effective cell write time: differential
+// writes program SET and RESET bits concurrently, so the slower of the
+// two present transitions dominates.
+func (t PCMTiming) WriteLatency(anySet, anyReset bool) sim.Time {
+	switch {
+	case anySet:
+		return t.CellSET
+	case anyReset:
+		return t.CellRESET
+	default:
+		return 0
+	}
+}
+
+// Memory configures the PCM main memory and its controllers.
+type Memory struct {
+	Channels      int // independent controllers/channels
+	RanksPerChan  int
+	DataChips     int // x8 data chips per rank (8)
+	BanksPerChip  int
+	RowBytes      int64 // row-buffer size per bank across the rank (8 KB)
+	CapacityBytes int64 // total main-memory capacity
+
+	ReadQueueCap  int     // per-channel read queue entries
+	WriteQueueCap int     // per-channel write queue entries
+	DrainHighPct  float64 // start draining writes above this occupancy
+	DrainLowPct   float64 // stop draining below this occupancy
+
+	Timing PCMTiming
+
+	// StatusPollCycles is the cost (memory cycles) of the Status command
+	// that reads the DIMM register's per-chip busy flags (Section IV-D).
+	StatusPollCycles int
+
+	// PowerSlots bounds how many chip-words a rank may program
+	// concurrently (PCM writes are power-hungry; Section III-A2). A
+	// coarse baseline write reserves the whole budget; a fine-grained
+	// write reserves one slot per word it programs (data + ECC + PCC),
+	// which is what lets WoW consolidate writes within the same budget.
+	PowerSlots int
+
+	// MaxConcurrentWrites bounds how many fine-grained writes the WoW
+	// scheduler keeps in service per rank at once. The DIMM-register
+	// status tracking and the controller's partial-write bookkeeping
+	// are sized for a small number of overlapped writes; two matches
+	// the paper's reported write-throughput gains (Figure 9).
+	MaxConcurrentWrites int
+
+	// WritePausing enables the related-work comparator (Qureshi et
+	// al., HPCA 2010) on the Baseline variant: an in-service coarse
+	// write may pause at segment boundaries to let pending reads
+	// through, then resume. PCMap's RoW is evaluated against it.
+	WritePausing bool
+	// WritePauseSegments is the number of interruptible segments a
+	// write's programming divides into (4 by default).
+	WritePauseSegments int
+
+	// WearLevelPsi enables Start-Gap wear leveling (Qureshi et al.,
+	// MICRO 2009 — the scheme the paper cites as orthogonal) when
+	// non-zero: the gap moves after every Psi writes, costing one line
+	// copy each time. Zero disables remapping.
+	WearLevelPsi uint64
+
+	// RoWMultiWord enables the Section IV-B4 extension: applying RoW to
+	// writes with more than one essential word by splitting them into a
+	// series of single-word partial writes. The paper's evaluation keeps
+	// this off; we implement it for the ablation benches.
+	RoWMultiWord bool
+
+	// BitErrorRate is the probability that a stored 64-bit word has a
+	// single-bit fault when read back (used for the Table IV rollback
+	// study; zero by default).
+	BitErrorRate float64
+
+	// FaultMode controls the Table IV experiment: "" (use BitErrorRate),
+	// "always" (every RoW verification fails), "never" (verification
+	// always succeeds).
+	FaultMode string
+}
+
+// LineBytes is the cache-line/transfer granularity (64 B everywhere).
+const LineBytes = 64
+
+// WordBytes is the per-chip sub-block size: 64 B line / 8 data chips.
+const WordBytes = 8
+
+// WordsPerLine is the number of 8-byte words in a cache line.
+const WordsPerLine = LineBytes / WordBytes
+
+// Config is the root configuration.
+type Config struct {
+	Cores    int
+	Core     Core
+	L1D, L1I CacheLevel
+	L2       CacheLevel
+	DRAMLLC  CacheLevel
+	NoC      NoC
+	Memory   Memory
+	Variant  Variant
+	Seed     uint64
+}
+
+// Default returns the Table I configuration.
+func Default() *Config {
+	return &Config{
+		Cores: 8,
+		Core: Core{
+			ClockGHz:    2.5,
+			IssueWidth:  4,
+			WindowSize:  192,
+			DataMSHRs:   32,
+			RollbackPen: 300,
+		},
+		L1D: CacheLevel{SizeBytes: 32 << 10, Ways: 2, LineBytes: 32, HitCycles: 1, WriteBack: false, MSHRs: 32},
+		L1I: CacheLevel{SizeBytes: 32 << 10, Ways: 2, LineBytes: 32, HitCycles: 1, WriteBack: false, MSHRs: 4},
+		L2:  CacheLevel{SizeBytes: 8 << 20, Ways: 8, LineBytes: 64, HitCycles: 7, WriteBack: true, MSHRs: 32},
+		DRAMLLC: CacheLevel{
+			SizeBytes: 256 << 20, Ways: 8, LineBytes: 64, HitCycles: 100, WriteBack: true, MSHRs: 32,
+		},
+		NoC: NoC{Rows: 2, Cols: 4, RouterCycles: 1, LinkCycles: 1, FlitBytes: 16},
+		Memory: Memory{
+			Channels:            4,
+			RanksPerChan:        1,
+			DataChips:           8,
+			BanksPerChip:        8,
+			RowBytes:            8 << 10,
+			CapacityBytes:       8 << 30,
+			ReadQueueCap:        8,
+			WriteQueueCap:       32,
+			DrainHighPct:        0.8,
+			DrainLowPct:         0.25,
+			StatusPollCycles:    2,
+			PowerSlots:          8,
+			MaxConcurrentWrites: 2,
+			WritePauseSegments:  4,
+			Timing: PCMTiming{
+				ArrayRead:      sim.NS(60),
+				WriteArrayRead: sim.NS(60),
+				CellSET:        sim.NS(120),
+				CellRESET:      sim.NS(50),
+				TCL:            5,
+				TWL:            4,
+				TCCD:           4,
+				TWTR:           4,
+				TRTP:           3,
+				TRP:            60,
+				TRRDact:        2,
+				TBurst:         4,
+			},
+		},
+		Variant: Baseline,
+		Seed:    1,
+	}
+}
+
+// WithVariant returns a shallow copy of c with the variant replaced.
+func (c *Config) WithVariant(v Variant) *Config {
+	out := *c
+	out.Variant = v
+	return &out
+}
+
+// TotalChips returns the number of chips in a rank including the ECC and
+// PCC chips (PCMap variants carry both; the baseline ECC DIMM carries
+// the ECC chip only, but we keep ten everywhere so that storage layout
+// is uniform and the baseline simply never touches the PCC chip).
+func (m Memory) TotalChips() int { return m.DataChips + 2 }
+
+// Validate checks internal consistency and returns a descriptive error
+// for the first violated constraint.
+func (c *Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fmt.Errorf("config: Cores must be positive, got %d", c.Cores)
+	case c.Core.IssueWidth <= 0:
+		return fmt.Errorf("config: IssueWidth must be positive, got %d", c.Core.IssueWidth)
+	case c.Core.WindowSize <= 0:
+		return fmt.Errorf("config: WindowSize must be positive, got %d", c.Core.WindowSize)
+	case c.Memory.Channels <= 0:
+		return fmt.Errorf("config: Channels must be positive, got %d", c.Memory.Channels)
+	case c.Memory.DataChips != WordsPerLine:
+		return fmt.Errorf("config: DataChips must equal %d (one 8B word per chip), got %d", WordsPerLine, c.Memory.DataChips)
+	case c.Memory.BanksPerChip <= 0:
+		return fmt.Errorf("config: BanksPerChip must be positive, got %d", c.Memory.BanksPerChip)
+	case c.Memory.CapacityBytes%int64(c.Memory.Channels) != 0:
+		return fmt.Errorf("config: capacity %d not divisible by %d channels", c.Memory.CapacityBytes, c.Memory.Channels)
+	case c.Memory.DrainHighPct <= c.Memory.DrainLowPct:
+		return fmt.Errorf("config: DrainHighPct %.2f must exceed DrainLowPct %.2f", c.Memory.DrainHighPct, c.Memory.DrainLowPct)
+	case c.Memory.DrainHighPct > 1 || c.Memory.DrainLowPct < 0:
+		return fmt.Errorf("config: drain thresholds must lie in [0,1]")
+	case c.Memory.Timing.ArrayRead <= 0 || c.Memory.Timing.WriteArrayRead <= 0 ||
+		c.Memory.Timing.CellSET <= 0 || c.Memory.Timing.CellRESET <= 0:
+		return fmt.Errorf("config: PCM cell timings must be positive")
+	case c.L2.LineBytes != LineBytes || c.DRAMLLC.LineBytes != LineBytes:
+		return fmt.Errorf("config: L2 and DRAM LLC line size must be %d bytes", LineBytes)
+	case c.NoC.Rows*c.NoC.Cols < c.Cores:
+		return fmt.Errorf("config: NoC %dx%d too small for %d cores", c.NoC.Rows, c.NoC.Cols, c.Cores)
+	}
+	for _, lvl := range []struct {
+		name string
+		l    CacheLevel
+	}{{"L1D", c.L1D}, {"L1I", c.L1I}, {"L2", c.L2}, {"DRAMLLC", c.DRAMLLC}} {
+		if lvl.l.SizeBytes <= 0 || lvl.l.Ways <= 0 || lvl.l.LineBytes <= 0 {
+			return fmt.Errorf("config: %s has non-positive geometry", lvl.name)
+		}
+		sets := lvl.l.SizeBytes / int64(lvl.l.Ways*lvl.l.LineBytes)
+		if sets <= 0 || sets&(sets-1) != 0 {
+			return fmt.Errorf("config: %s set count %d is not a power of two", lvl.name, sets)
+		}
+	}
+	return nil
+}
+
+// WriteToReadRatio returns the current cell write-to-read latency ratio
+// (the paper's default is 2x: 120 ns SET over 60 ns read).
+func (m Memory) WriteToReadRatio() float64 {
+	return float64(m.Timing.CellSET) / float64(m.Timing.ArrayRead)
+}
+
+// SetWriteToReadRatio fixes the write latency at its current value and
+// adjusts the read latency so that write/read equals ratio, mirroring
+// the Table III sensitivity study.
+func (m *Memory) SetWriteToReadRatio(ratio float64) {
+	if ratio <= 0 {
+		panic("config: non-positive write-to-read ratio")
+	}
+	m.Timing.ArrayRead = sim.Time(float64(m.Timing.CellSET) / ratio)
+	if m.Timing.ArrayRead < 1 {
+		m.Timing.ArrayRead = 1
+	}
+}

@@ -1,0 +1,110 @@
+package config
+
+import (
+	"testing"
+
+	"pcmap/internal/sim"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestVariantFlags(t *testing.T) {
+	cases := []struct {
+		v                        Variant
+		row, wow, rotD, rotE, fg bool
+	}{
+		{Baseline, false, false, false, false, false},
+		{RoWNR, true, false, false, false, true},
+		{WoWNR, false, true, false, false, true},
+		{RWoWNR, true, true, false, false, true},
+		{RWoWRD, true, true, true, false, true},
+		{RWoWRDE, true, true, true, true, true},
+	}
+	for _, c := range cases {
+		if c.v.RoW() != c.row || c.v.WoW() != c.wow ||
+			c.v.RotateData() != c.rotD || c.v.RotateECC() != c.rotE ||
+			c.v.FineGrained() != c.fg {
+			t.Fatalf("variant %s has wrong capability flags", c.v)
+		}
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	want := []string{"Baseline", "RoW-NR", "WoW-NR", "RWoW-NR", "RWoW-RD", "RWoW-RDE"}
+	for i, v := range Variants {
+		if v.String() != want[i] {
+			t.Fatalf("variant %d prints %q, want %q", i, v.String(), want[i])
+		}
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero cores", func(c *Config) { c.Cores = 0 }},
+		{"bad chips", func(c *Config) { c.Memory.DataChips = 4 }},
+		{"drain order", func(c *Config) { c.Memory.DrainHighPct = 0.1 }},
+		{"odd cache sets", func(c *Config) { c.L2.SizeBytes = 3 << 20 }},
+		{"line size", func(c *Config) { c.L2.LineBytes = 32 }},
+		{"noc too small", func(c *Config) { c.NoC.Rows, c.NoC.Cols = 1, 2 }},
+		{"zero timing", func(c *Config) { c.Memory.Timing.CellSET = 0 }},
+		{"capacity split", func(c *Config) { c.Memory.CapacityBytes = (8 << 30) + 1; c.Memory.Channels = 2 }},
+	}
+	for _, m := range mutations {
+		c := Default()
+		m.mut(c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestWithVariantCopies(t *testing.T) {
+	base := Default()
+	v := base.WithVariant(RWoWRDE)
+	if base.Variant != Baseline || v.Variant != RWoWRDE {
+		t.Fatal("WithVariant must not mutate the receiver")
+	}
+}
+
+func TestWriteLatencySelection(t *testing.T) {
+	tm := Default().Memory.Timing
+	if got := tm.WriteLatency(true, true); got != tm.CellSET {
+		t.Fatalf("SET should dominate, got %v", got)
+	}
+	if got := tm.WriteLatency(false, true); got != tm.CellRESET {
+		t.Fatalf("RESET-only write, got %v", got)
+	}
+	if got := tm.WriteLatency(false, false); got != 0 {
+		t.Fatalf("no-flip write should be free, got %v", got)
+	}
+}
+
+func TestWriteToReadRatio(t *testing.T) {
+	m := Default().Memory
+	if got := m.WriteToReadRatio(); got != 2 {
+		t.Fatalf("default ratio %v, want 2 (120ns/60ns)", got)
+	}
+	for _, ratio := range []float64{2, 4, 6, 8} {
+		m.SetWriteToReadRatio(ratio)
+		if m.Timing.CellSET != sim.NS(120) {
+			t.Fatal("write latency must stay fixed in the Table III sweep")
+		}
+		got := m.WriteToReadRatio()
+		if got < ratio*0.99 || got > ratio*1.01 {
+			t.Fatalf("ratio %v after set %v", got, ratio)
+		}
+	}
+}
+
+func TestTotalChips(t *testing.T) {
+	if got := Default().Memory.TotalChips(); got != 10 {
+		t.Fatalf("TotalChips = %d, want 10 (8 data + ECC + PCC)", got)
+	}
+}

@@ -1,0 +1,388 @@
+// Package core implements the paper's contribution: the PCMap memory
+// controller (Section IV). One Controller drives one channel's rank of
+// ten x8 PCM chips through rank subsetting, serving requests with the
+// baseline read-priority/write-drain policy and — depending on the
+// configured variant — overlapping reads with ongoing writes via PCC
+// parity reconstruction (RoW), consolidating writes with disjoint chip
+// sets (WoW), and rotating data words and ECC/PCC words across chips.
+package core
+
+import (
+	"fmt"
+
+	"pcmap/internal/config"
+	"pcmap/internal/dimm"
+	"pcmap/internal/ecc"
+	"pcmap/internal/mem"
+	"pcmap/internal/sim"
+	"pcmap/internal/wear"
+)
+
+// Controller schedules one memory channel.
+type Controller struct {
+	eng     *sim.Engine
+	cfg     config.Memory
+	variant config.Variant
+	channel int
+
+	rank *dimm.Rank
+	amap *mem.AddrMap
+
+	rdq *mem.Queue
+	wrq *mem.Queue
+
+	dataBus mem.Bus
+	cmdBus  mem.Bus
+
+	draining   bool
+	powerInUse int
+	active     []*activeWrite // writes currently in service
+	paused     *pausedWrite   // baseline write-pausing comparator state
+
+	rng     *sim.RNG
+	Metrics *mem.Metrics
+
+	// sg, when non-nil, applies Start-Gap wear leveling: logical
+	// channel-local line indices remap to slowly rotating physical
+	// slots, and every Psi-th write pays a line-copy (see
+	// internal/wear).
+	sg *wear.StartGap
+
+	kicked       bool
+	readWaiters  []func()
+	writeWaiters []func()
+
+	// AssertContent makes the controller panic if a PCC reconstruction
+	// ever disagrees with stored content absent injected faults;
+	// enabled by tests.
+	AssertContent bool
+}
+
+// activeWrite tracks a write in service for scheduling decisions and
+// the Figure 1 delayed-read accounting.
+type activeWrite struct {
+	req      *mem.Request
+	bank     int
+	essCount int
+	end      sim.Time
+}
+
+// NewController builds a controller for one channel.
+func NewController(eng *sim.Engine, cfgAll *config.Config, channel int, amap *mem.AddrMap, rng *sim.RNG) *Controller {
+	m := cfgAll.Memory
+	v := cfgAll.Variant
+	layout := dimm.Layout{RotateData: v.RotateData(), RotateECC: v.RotateECC()}
+	c := &Controller{
+		eng:     eng,
+		cfg:     m,
+		variant: v,
+		channel: channel,
+		rank:    dimm.NewRank(m.BanksPerChip, layout),
+		amap:    amap,
+		rdq:     mem.NewQueue(m.ReadQueueCap),
+		wrq:     mem.NewQueue(m.WriteQueueCap),
+		rng:     rng,
+		Metrics: mem.NewMetrics(),
+	}
+	c.dataBus.Turnaround = sim.Time(m.Timing.TWTR) * sim.MemCycle
+	if m.WearLevelPsi > 0 {
+		sg, err := wear.NewStartGap(amap.LinesPerChannel(), m.WearLevelPsi)
+		if err != nil {
+			panic(err) // psi validated by config
+		}
+		c.sg = sg
+	}
+	return c
+}
+
+// decode resolves an address to (possibly wear-level-remapped)
+// physical coordinates. All controller paths must use this instead of
+// the raw address map so remapping stays consistent.
+func (c *Controller) decode(addr uint64) mem.Coord {
+	coord := c.amap.Decode(addr)
+	if c.sg == nil {
+		return coord
+	}
+	phys := c.sg.Map(coord.LineIdx)
+	if phys == coord.LineIdx {
+		return coord
+	}
+	return c.amap.CoordFromLineIdx(c.channel, phys)
+}
+
+// wearTick advances the Start-Gap state on each serviced write,
+// performing the occasional gap-move line copy: real content moves in
+// the functional store, and the destination bank is charged a
+// line-write's worth of chip time.
+func (c *Controller) wearTick() {
+	if c.sg == nil {
+		return
+	}
+	from, to, moved := c.sg.OnWrite()
+	if !moved {
+		return
+	}
+	c.Metrics.WearMoves.Inc()
+	var buf [64]byte
+	c.rank.Store.ReadLine(from, &buf)
+	c.rank.Store.WriteWords(to, 0xff, &buf)
+	coord := c.amap.CoordFromLineIdx(c.channel, to%c.amap.LinesPerChannel())
+	now := c.eng.Now()
+	var end sim.Time
+	for i := 0; i < dimm.Slots; i++ {
+		_, e := c.rank.Chips[i].ReserveProgram(coord.Bank, now,
+			c.cfg.Timing.WriteArrayRead, c.cfg.Timing.CellSET)
+		if e > end {
+			end = e
+		}
+	}
+	// The copy holds chips without a request completion behind it, so
+	// wake the scheduler when the chips free up.
+	c.eng.At(end, c.kick)
+}
+
+// Rank exposes the controller's rank (for tests and wear reporting).
+func (c *Controller) Rank() *dimm.Rank { return c.rank }
+
+// Variant returns the scheduling variant in force.
+func (c *Controller) Variant() config.Variant { return c.variant }
+
+// QueueLens returns current read and write queue occupancy.
+func (c *Controller) QueueLens() (reads, writes int) { return c.rdq.Len(), c.wrq.Len() }
+
+// Enqueue presents a request to the controller. It reports false when
+// the relevant queue is full; the caller should register interest via
+// OnSpace and retry.
+func (c *Controller) Enqueue(r *mem.Request) bool {
+	r.Arrive = c.eng.Now()
+	var ok bool
+	if r.Kind == mem.Read {
+		ok = c.rdq.Push(r)
+		if !ok {
+			c.Metrics.ReadQStalls.Inc()
+		}
+	} else {
+		ok = c.wrq.Push(r)
+		if !ok {
+			c.Metrics.WriteQStalls.Inc()
+		}
+	}
+	if ok {
+		c.Metrics.NoteArrival(r.Arrive)
+		c.kick()
+	}
+	return ok
+}
+
+// OnSpace registers a one-shot callback invoked when a queue slot of
+// the given kind frees up.
+func (c *Controller) OnSpace(kind mem.Kind, fn func()) {
+	if kind == mem.Read {
+		c.readWaiters = append(c.readWaiters, fn)
+	} else {
+		c.writeWaiters = append(c.writeWaiters, fn)
+	}
+}
+
+func (c *Controller) notifySpace(kind mem.Kind) {
+	var ws []func()
+	if kind == mem.Read {
+		ws, c.readWaiters = c.readWaiters, nil
+	} else {
+		ws, c.writeWaiters = c.writeWaiters, nil
+	}
+	for _, fn := range ws {
+		fn()
+	}
+}
+
+// kick schedules a scheduling pass at the current time, coalescing
+// multiple triggers within one event timestamp.
+func (c *Controller) kick() {
+	if c.kicked {
+		return
+	}
+	c.kicked = true
+	c.eng.Schedule(0, c.run)
+}
+
+func (c *Controller) run() {
+	c.kicked = false
+	for {
+		c.updateDrainMode()
+		progress := false
+		// Writes issue only inside drain windows (Section II-B: the bus
+		// turns around and writes drain in bursts); the lone exception
+		// is an idle system with nothing to read, where holding writes
+		// back serves nobody.
+		idleWrites := c.rdq.Len() == 0 && len(c.active) == 0 && c.wrq.Len() > 0
+		if c.draining || idleWrites {
+			if c.tryIssueWrite() {
+				progress = true
+			}
+		}
+		if c.canIssueReadsNow() {
+			if c.tryIssueRead() {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	c.maybeResumePaused()
+	c.markDelayedReads()
+}
+
+// canIssueReadsNow encodes the bus-direction policy: outside drain mode
+// reads always have priority; during a drain only RoW-capable variants
+// keep serving reads (Section IV-D2).
+func (c *Controller) canIssueReadsNow() bool {
+	if c.rdq.Len() == 0 {
+		return false
+	}
+	if !c.draining {
+		return true
+	}
+	if c.paused != nil && !c.paused.inFlight {
+		// Write-pausing comparator: the parked write opened a window
+		// for reads even mid-drain.
+		return true
+	}
+	return c.variant.RoW()
+}
+
+func (c *Controller) updateDrainMode() {
+	occ := c.wrq.Occupancy()
+	if !c.draining && occ >= c.cfg.DrainHighPct {
+		c.draining = true
+		c.Metrics.DrainEntries.Inc()
+	} else if c.draining && occ <= c.cfg.DrainLowPct {
+		c.draining = false
+	}
+}
+
+// markDelayedReads flags queued reads blocked by the write path (the
+// Figure 1 numerator): reads held back by a drain window. Reads blocked
+// by busy chips are flagged inside planRead.
+func (c *Controller) markDelayedReads() {
+	if !c.draining || c.canIssueReadsNow() || c.wrq.Len() == 0 {
+		return
+	}
+	c.rdq.Each(func(r *mem.Request) bool {
+		if !r.Started {
+			r.DelayedByWrite = true
+		}
+		return true
+	})
+}
+
+// activeWrites counts in-service writes that program at least one word
+// (silent write-backs do not occupy the WoW scheduler's tracking).
+func (c *Controller) activeWrites() int {
+	n := 0
+	for _, aw := range c.active {
+		if aw.essCount > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Controller) removeActive(w *activeWrite) {
+	for i, x := range c.active {
+		if x == w {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// chipFree reports whether chip `chip`, bank `bank` is idle now.
+func (c *Controller) chipFree(chip, bank int) bool {
+	return c.rank.Chips[chip].FreeAt(bank, c.eng.Now())
+}
+
+// reserveChip books a chip-bank for dur, no earlier than earliest.
+func (c *Controller) reserveChip(chip, bank int, earliest, dur sim.Time) (start, end sim.Time) {
+	return c.rank.Chips[chip].Reserve(bank, earliest, dur)
+}
+
+// rowHitAll reports whether every chip in mask has row open in bank.
+func (c *Controller) rowHitAll(mask uint16, bank int, row int64) bool {
+	for i := 0; i < dimm.Slots; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if !c.rank.Chips[i].RowHit(bank, row) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Controller) openRowAll(mask uint16, bank int, row int64) {
+	for i := 0; i < dimm.Slots; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			c.rank.Chips[i].OpenRowIn(bank, row)
+		}
+	}
+}
+
+// allChipsMask is the chip mask covering the entire rank.
+const allChipsMask uint16 = 1<<dimm.Slots - 1
+
+// baselineChipsMask covers the nine chips of a conventional ECC DIMM
+// (the baseline never touches the PCC chip).
+const baselineChipsMask uint16 = 1<<9 - 1
+
+// lineChips returns the chips holding the line's slots: data words,
+// ECC, and (for PCMap variants) PCC.
+func (c *Controller) lineChips(rotIdx uint64) uint16 {
+	l := c.rank.Layout
+	m := l.DataChips(rotIdx)
+	m |= 1 << uint(l.ECCChip(rotIdx))
+	if c.variant.FineGrained() {
+		m |= 1 << uint(l.PCCChip(rotIdx))
+	}
+	return m
+}
+
+// synthesizeWriteData builds new line content for a masked write when
+// the producer did not supply real bytes: every essential word receives
+// a fresh value guaranteed to differ from the stored one, so the
+// differential-write machinery sees genuine SET/RESET transitions.
+func (c *Controller) synthesizeWriteData(lineIdx uint64, mask uint8) *[ecc.LineBytes]byte {
+	var buf [ecc.LineBytes]byte
+	c.rank.Store.ReadLine(lineIdx, &buf)
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		old := ecc.Word(&buf, w)
+		v := c.rng.Uint64()
+		if v == old {
+			v ^= 1
+		}
+		ecc.SetWord(&buf, w, v)
+	}
+	return &buf
+}
+
+// statusPollCost charges the DIMM-register Status command on the
+// command bus and returns the time scheduling may proceed.
+func (c *Controller) statusPollCost(earliest sim.Time) sim.Time {
+	c.Metrics.StatusPolls.Inc()
+	_, end := c.cmdBus.Acquire(earliest, sim.Time(c.cfg.StatusPollCycles)*sim.MemCycle, false)
+	return end
+}
+
+// commandCost charges n command slots on the command/address bus.
+func (c *Controller) commandCost(earliest sim.Time, n int) sim.Time {
+	_, end := c.cmdBus.Acquire(earliest, sim.Time(n)*sim.MemCycle, false)
+	return end
+}
+
+func (c *Controller) String() string {
+	return fmt.Sprintf("controller(ch=%d,%s)", c.channel, c.variant)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"pcmap/internal/config"
+	"pcmap/internal/mem"
+	"pcmap/internal/sim"
+)
+
+// TestFuzzControllerInvariants drives every variant (plus the pausing
+// and wear-leveling options) with randomized traffic shapes and checks
+// the controller's global invariants:
+//
+//   - every accepted request completes, exactly once;
+//   - completion times are causal (Done >= Issue >= Arrive);
+//   - the engine fully drains (no leaked events);
+//   - metrics account for every request;
+//   - content checks: reconstructions always verified, none faulty.
+func TestFuzzControllerInvariants(t *testing.T) {
+	scenarios := []struct {
+		name    string
+		variant config.Variant
+		pausing bool
+		wearPsi uint64
+		multi   bool
+	}{
+		{name: "baseline", variant: config.Baseline},
+		{name: "baseline-pausing", variant: config.Baseline, pausing: true},
+		{name: "row", variant: config.RoWNR},
+		{name: "wow", variant: config.WoWNR},
+		{name: "rwow", variant: config.RWoWNR},
+		{name: "rwow-rd", variant: config.RWoWRD},
+		{name: "rwow-rde", variant: config.RWoWRDE},
+		{name: "rde-wear", variant: config.RWoWRDE, wearPsi: 7},
+		{name: "rde-multiword", variant: config.RWoWRDE, multi: true},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				runFuzz(t, sc.variant, sc.pausing, sc.wearPsi, sc.multi, seed)
+			}
+		})
+	}
+}
+
+func runFuzz(t *testing.T, v config.Variant, pausing bool, wearPsi uint64, multi bool, seed uint64) {
+	t.Helper()
+	cfg := config.Default().WithVariant(v)
+	cfg.Memory.Channels = 2
+	cfg.Memory.CapacityBytes = 2 << 30
+	cfg.Memory.WritePausing = pausing
+	cfg.Memory.WearLevelPsi = wearPsi
+	cfg.Memory.RoWMultiWord = multi
+	cfg.Seed = seed
+	eng := sim.NewEngine()
+	m, err := NewMemory(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.Ctrls {
+		c.AssertContent = true
+	}
+
+	rng := sim.NewRNG(seed * 977)
+	issued, completed := 0, 0
+	doneSeen := map[*mem.Request]bool{}
+	var submit func(r *mem.Request)
+	submit = func(r *mem.Request) {
+		prev := r.OnDone
+		r.OnDone = func(rr *mem.Request) {
+			if doneSeen[rr] {
+				t.Fatal("request completed twice")
+			}
+			doneSeen[rr] = true
+			completed++
+			if rr.Done < rr.Issue || rr.Issue < rr.Arrive {
+				t.Fatalf("causality violated: arrive=%v issue=%v done=%v", rr.Arrive, rr.Issue, rr.Done)
+			}
+			if prev != nil {
+				prev(rr)
+			}
+		}
+		issued++
+		var try func()
+		try = func() {
+			if !m.Submit(r) {
+				m.OnSpace(r.Kind, r.Addr, try)
+			}
+		}
+		try()
+	}
+
+	// Traffic with bursts, hot lines, varied masks and gaps.
+	n := 0
+	hot := uint64(rng.Intn(4096))
+	var gen func()
+	gen = func() {
+		if n >= 700 {
+			return
+		}
+		n++
+		var addr uint64
+		if rng.Bool(0.3) {
+			addr = hot * 64 // hot line: rewrites, silent stores
+		} else {
+			addr = uint64(rng.Intn(1<<16)) * 64
+		}
+		if rng.Bool(0.35) {
+			submit(&mem.Request{Kind: mem.Read, Addr: addr})
+		} else {
+			submit(&mem.Request{Kind: mem.Write, Addr: addr, Mask: uint8(rng.Uint64())})
+		}
+		gap := sim.NS(float64(rng.Intn(60)))
+		eng.Schedule(gap, gen)
+	}
+	eng.Schedule(0, gen)
+	eng.Run()
+
+	if completed != issued {
+		t.Fatalf("%s seed %d: %d/%d requests completed", v, seed, completed, issued)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("%s seed %d: %d events leaked", v, seed, eng.Pending())
+	}
+	met := m.Metrics()
+	if met.Reads.Value()+met.Writes.Value() != uint64(issued) {
+		t.Fatalf("%s seed %d: metrics %d+%d != %d", v, seed,
+			met.Reads.Value(), met.Writes.Value(), issued)
+	}
+	if met.RoWFaulty.Value() != 0 {
+		t.Fatalf("%s seed %d: spurious faulty verifications", v, seed)
+	}
+	if met.RoWVerifies.Value() != met.RoWServed.Value() {
+		t.Fatalf("%s seed %d: %d RoW reads but %d verifications", v, seed,
+			met.RoWServed.Value(), met.RoWVerifies.Value())
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"pcmap/internal/ecc"
+	"pcmap/internal/mem"
+	"pcmap/internal/sim"
+)
+
+// readPlan captures how a queued read could be served right now.
+type readPlan struct {
+	coord       mem.Coord
+	busyChip    int  // chip whose word must be reconstructed; -1 if none
+	missingWord int  // data word index held by busyChip
+	eccFree     bool // ECC chip idle: SECDED check can run inline
+	rowHit      bool
+	blockedByWr bool // not serviceable, and the blocker is a write
+}
+
+// planRead determines whether r can be served at the current time and
+// how. It returns (plan, ok).
+func (c *Controller) planRead(r *mem.Request) (readPlan, bool) {
+	p := readPlan{busyChip: -1, missingWord: -1}
+	p.coord = c.decode(r.Addr)
+	l := c.rank.Layout
+	if len(c.active) > 0 && !c.variant.RoW() {
+		// While a write is in service the baseline (and WoW-only)
+		// controller holds reads back entirely — "the remaining chips
+		// of that rank will be idle for the long duration of this
+		// write" (Section I). The write-pausing comparator relaxes
+		// this exactly while its write is parked between segments.
+		parked := c.paused != nil && !c.paused.inFlight && len(c.active) == 1
+		if !parked {
+			p.blockedByWr = true
+			return p, false
+		}
+	}
+	busyCount := 0
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		chip := l.DataChip(p.coord.RotIdx, w)
+		if !c.chipFree(chip, p.coord.Bank) {
+			busyCount++
+			p.busyChip = chip
+			p.missingWord = w
+		}
+	}
+	p.eccFree = c.chipFree(l.ECCChip(p.coord.RotIdx), p.coord.Bank)
+	switch {
+	case busyCount == 0:
+		p.busyChip, p.missingWord = -1, -1
+		p.rowHit = c.rowHitAll(l.DataChips(p.coord.RotIdx), p.coord.Bank, p.coord.Row)
+		return p, true
+	case busyCount == 1 && c.variant.RoW() && c.rowServiceAllowed() &&
+		c.chipFree(l.PCCChip(p.coord.RotIdx), p.coord.Bank):
+		// Serve by reconstruction: read the seven free data words plus
+		// the PCC word and XOR the missing word back (Section IV-B).
+		mask := l.DataChips(p.coord.RotIdx) &^ (1 << uint(p.busyChip))
+		mask |= 1 << uint(l.PCCChip(p.coord.RotIdx))
+		p.rowHit = c.rowHitAll(mask, p.coord.Bank, p.coord.Row)
+		return p, true
+	default:
+		p.blockedByWr = len(c.active) > 0
+		return p, false
+	}
+}
+
+// rowServiceAllowed reports whether reconstruction-based read service
+// may run right now: the paper's scheduler performs RoW only while the
+// ongoing (oldest) write updates at most one essential word (Section
+// IV-D2, rule 1), keeping reconstruction sound with a single missing
+// chip; the Section IV-B4 multi-word extension lifts the restriction.
+// Reads with no busy-chip overlap are ordinary rank-subsetting
+// parallelism and bypass this check entirely.
+func (c *Controller) rowServiceAllowed() bool {
+	if c.cfg.RoWMultiWord || len(c.active) == 0 {
+		return true
+	}
+	return c.active[0].essCount <= 1
+}
+
+// tryIssueRead attempts to start service of one queued read, honoring
+// FR-FCFS in normal mode and oldest-first during a drain (the paper's
+// RoW scheduler picks the oldest read).
+func (c *Controller) tryIssueRead() bool {
+	plans := make(map[*mem.Request]readPlan)
+	serviceable := func(r *mem.Request) bool {
+		if r.Started || r.Kind != mem.Read {
+			return false
+		}
+		p, ok := c.planRead(r)
+		if ok {
+			plans[r] = p
+		} else if p.blockedByWr {
+			r.DelayedByWrite = true
+		}
+		return ok
+	}
+	var chosen *mem.Request
+	if c.draining {
+		chosen = c.rdq.Oldest(serviceable)
+	} else {
+		chosen = c.rdq.SelectFRFCFS(serviceable, func(r *mem.Request) bool {
+			return plans[r].rowHit
+		})
+	}
+	if chosen == nil {
+		return false
+	}
+	c.issueRead(chosen, plans[chosen])
+	return true
+}
+
+func (c *Controller) issueRead(r *mem.Request, p readPlan) {
+	now := c.eng.Now()
+	r.Started = true
+	r.Issue = now
+	timing := c.cfg.Timing
+	l := c.rank.Layout
+	overlap := len(c.active) > 0
+	if overlap {
+		c.Metrics.OverlapReads.Inc()
+	}
+
+	start := now
+	if p.busyChip >= 0 {
+		// Scheduling around a busy chip needs the DIMM status flags.
+		start = c.statusPollCost(now)
+	}
+	start = c.commandCost(start, 2)
+
+	// The set of chips that stream this read.
+	var involved []int
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		chip := l.DataChip(p.coord.RotIdx, w)
+		if chip != p.busyChip {
+			involved = append(involved, chip)
+		}
+	}
+	if p.busyChip >= 0 {
+		involved = append(involved, l.PCCChip(p.coord.RotIdx))
+	}
+	if p.eccFree {
+		involved = append(involved, l.ECCChip(p.coord.RotIdx))
+	}
+
+	act := sim.Time(0)
+	if !p.rowHit {
+		act = timing.ArrayRead
+	}
+	ready := start + act + sim.Time(timing.TCL)*sim.MemCycle
+	burst := sim.Time(timing.TBurst) * sim.MemCycle
+	_, done := c.dataBus.Acquire(ready, burst, false)
+	for _, chip := range involved {
+		c.reserveChip(chip, p.coord.Bank, now, done-now)
+		c.rank.Chips[chip].OpenRowIn(p.coord.Bank, p.coord.Row)
+		c.Metrics.IRLP.AddChipService(now, done)
+	}
+
+	// Functional data path.
+	c.rank.Store.ReadLine(p.coord.LineIdx, &r.ReadData)
+	var verifyAt sim.Time
+	if p.busyChip >= 0 {
+		r.Reconstructed = true
+		c.Metrics.RoWServed.Inc()
+		got, match := c.rank.Store.ReconstructWord(p.coord.LineIdx, p.missingWord)
+		if !match && c.AssertContent && c.cfg.BitErrorRate == 0 {
+			panic(fmt.Sprintf("core: PCC reconstruction mismatch line %#x word %d", p.coord.LineIdx, p.missingWord))
+		}
+		ecc.SetWord(&r.ReadData, p.missingWord, got)
+		// Verification: once the busy chip frees, its word is read and
+		// the full line SECDED-checked, off the critical path.
+		chipFreeAt := c.rank.Chips[p.busyChip].Banks[p.coord.Bank].BusyUntil
+		verifyAt = done
+		if chipFreeAt > verifyAt {
+			verifyAt = chipFreeAt
+		}
+		verifyAt += sim.Time(timing.TCL+timing.TBurst) * sim.MemCycle
+	}
+
+	c.eng.At(done, func() { c.completeRead(r, p, verifyAt) })
+}
+
+func (c *Controller) completeRead(r *mem.Request, p readPlan, verifyAt sim.Time) {
+	r.Done = c.eng.Now()
+	c.rdq.Remove(r)
+	c.Metrics.Reads.Inc()
+	c.Metrics.ReadLatency.Add(r.Latency())
+	c.Metrics.NoteDone(r.Done)
+	if r.DelayedByWrite {
+		c.Metrics.ReadsDelayedByWrite.Inc()
+	}
+
+	faulty := c.injectedFault()
+	if !r.Reconstructed {
+		// SECDED runs inline (when the ECC chip streamed with the
+		// data) or is postponed; either way a single-bit fault is
+		// corrected before the CPU commits, without rollback.
+		if faulty {
+			c.Metrics.ECCCorrected.Inc()
+		}
+		if r.OnDone != nil {
+			r.OnDone(r)
+		}
+	} else {
+		if r.OnDone != nil {
+			r.OnDone(r)
+		}
+		c.eng.At(verifyAt, func() {
+			c.Metrics.RoWVerifies.Inc()
+			if faulty {
+				c.Metrics.RoWFaulty.Inc()
+			}
+			if r.OnVerify != nil {
+				r.OnVerify(r, faulty)
+			}
+		})
+	}
+	c.notifySpace(mem.Read)
+	c.kick()
+}
+
+// injectedFault samples the configured fault model: FaultMode overrides
+// ("always"/"never"), otherwise each read suffers a correctable bit
+// error with probability BitErrorRate.
+func (c *Controller) injectedFault() bool {
+	switch c.cfg.FaultMode {
+	case "always":
+		return true
+	case "never":
+		return false
+	}
+	if c.cfg.BitErrorRate <= 0 {
+		return false
+	}
+	return c.rng.Bool(c.cfg.BitErrorRate)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"pcmap/internal/config"
+	"pcmap/internal/mem"
+	"pcmap/internal/sim"
+)
+
+// fillWrites floods one channel's write queue with count single-word
+// writes to distinct rows.
+func fillWrites(d *driver, count int, stride uint64) {
+	for i := 0; i < count; i++ {
+		d.submit(&mem.Request{Kind: mem.Write, Addr: lineAddr(uint64(i) * stride), Mask: 0x01})
+	}
+}
+
+func TestDrainHysteresis(t *testing.T) {
+	eng, m := newTestMemory(t, config.Baseline)
+	d := &driver{eng: eng, m: m}
+	// 40 writes > WQ cap (32): the queue fills, a drain triggers, and
+	// eventually everything completes exactly once.
+	fillWrites(d, 40, 512)
+	eng.Run()
+	if d.completed != 40 {
+		t.Fatalf("%d/40 completed", d.completed)
+	}
+	met := m.Metrics()
+	if met.DrainEntries.Value() == 0 {
+		t.Fatal("no drain recorded despite a full write queue")
+	}
+	if met.WriteQStalls.Value() == 0 {
+		t.Fatal("40 submissions into a 32-entry queue must stall at least once")
+	}
+}
+
+func TestStatusPollsChargedOnOverlap(t *testing.T) {
+	eng, m := newTestMemory(t, config.RWoWRDE)
+	d := &driver{eng: eng, m: m}
+	fillWrites(d, 60, 512)
+	eng.Run()
+	if m.Metrics().WoWOverlapped.Value() == 0 {
+		t.Skip("no overlap in this pattern")
+	}
+	if m.Metrics().StatusPolls.Value() == 0 {
+		t.Fatal("overlapped scheduling must poll the DIMM status register")
+	}
+}
+
+func TestSilentWriteFastPath(t *testing.T) {
+	eng, m := newTestMemory(t, config.RWoWRDE)
+	var lat []sim.Time
+	done := func(r *mem.Request) { lat = append(lat, r.Latency()) }
+	// Mask 0 write-back: fully silent (Figure 2's 0-word bucket).
+	m.Submit(&mem.Request{Kind: mem.Write, Addr: lineAddr(9), Mask: 0, OnDone: done})
+	eng.Run()
+	// A normal single-word write for comparison.
+	m.Submit(&mem.Request{Kind: mem.Write, Addr: lineAddr(10), Mask: 1, OnDone: done})
+	eng.Run()
+	if len(lat) != 2 {
+		t.Fatalf("%d completions", len(lat))
+	}
+	if lat[0] >= lat[1] {
+		t.Fatalf("silent write (%v) should be faster than a programming write (%v)", lat[0], lat[1])
+	}
+	met := m.Metrics()
+	if met.SilentWrites.Value() != 1 {
+		t.Fatalf("silent writes counted: %d", met.SilentWrites.Value())
+	}
+	if met.DirtyWords.Count(0) != 1 || met.DirtyWords.Count(1) != 1 {
+		t.Fatalf("dirty-word histogram wrong: %v", met.DirtyWords.Buckets())
+	}
+}
+
+func TestRowBufferHitSpeedsReads(t *testing.T) {
+	eng, m := newTestMemory(t, config.Baseline)
+	var lat []sim.Time
+	done := func(r *mem.Request) { lat = append(lat, r.Latency()) }
+	// Two reads to adjacent channel-local lines (same row): the second
+	// should hit the open row and skip the array read.
+	m.Submit(&mem.Request{Kind: mem.Read, Addr: lineAddr(100), OnDone: done})
+	eng.Run()
+	m.Submit(&mem.Request{Kind: mem.Read, Addr: lineAddr(101), OnDone: done})
+	eng.Run()
+	if len(lat) != 2 || lat[1] >= lat[0] {
+		t.Fatalf("row hit not faster: %v", lat)
+	}
+	// The saved time should be about the array read (60 ns).
+	saved := (lat[0] - lat[1]).Nanoseconds()
+	if saved < 40 || saved > 80 {
+		t.Fatalf("row hit saved %.1fns, expected ~60ns", saved)
+	}
+}
+
+func TestReadQueueBackpressure(t *testing.T) {
+	eng, m := newTestMemory(t, config.Baseline)
+	d := &driver{eng: eng, m: m}
+	// More reads at one instant than the 8-entry read queue holds;
+	// all must eventually complete through OnSpace retries.
+	for i := 0; i < 30; i++ {
+		d.submit(&mem.Request{Kind: mem.Read, Addr: lineAddr(uint64(i) * 512)})
+	}
+	eng.Run()
+	if d.completed != 30 {
+		t.Fatalf("%d/30 completed", d.completed)
+	}
+	if m.Metrics().ReadQStalls.Value() == 0 {
+		t.Fatal("expected read-queue stalls")
+	}
+}
+
+func TestECCChipUpdatedOnEveryWrite(t *testing.T) {
+	eng, m := newTestMemory(t, config.RWoWNR) // fixed ECC chip (no rotation)
+	d := &driver{eng: eng, m: m}
+	fillWrites(d, 50, 512)
+	eng.Run()
+	ctrl := m.Ctrls[0]
+	_, perChip := ctrl.Rank().TotalWordWrites()
+	// Chip 8 (ECC) must have been programmed about once per
+	// non-silent write.
+	if perChip[8] < 40 {
+		t.Fatalf("ECC chip programmed only %d times for ~50 writes", perChip[8])
+	}
+	// PCC (chip 9) likewise under RoW's deferred parity update.
+	if perChip[9] < 40 {
+		t.Fatalf("PCC chip programmed only %d times", perChip[9])
+	}
+}
+
+func TestRotationSpreadsCodeUpdates(t *testing.T) {
+	eng, m := newTestMemory(t, config.RWoWRDE)
+	d := &driver{eng: eng, m: m}
+	fillWrites(d, 300, 512)
+	eng.Run()
+	_, perChip := m.Ctrls[0].Rank().TotalWordWrites()
+	min, max := perChip[0], perChip[0]
+	for _, n := range perChip {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if min == 0 || float64(max) > 3*float64(min) {
+		t.Fatalf("rotation should spread programming: per-chip %v", perChip)
+	}
+}
+
+func TestWriteLatencyRESETFaster(t *testing.T) {
+	// A write whose only transitions are 1->0 completes in tRESET
+	// (50 ns) rather than tSET (120 ns).
+	eng, m := newTestMemory(t, config.Baseline)
+	var ones, zeros [64]byte
+	for i := range ones {
+		ones[i] = 0xff
+	}
+	var lat []sim.Time
+	done := func(r *mem.Request) { lat = append(lat, r.Latency()) }
+	m.Submit(&mem.Request{Kind: mem.Write, Addr: lineAddr(7), Mask: 0xff, Data: &ones, OnDone: done})
+	eng.Run()
+	m.Submit(&mem.Request{Kind: mem.Write, Addr: lineAddr(7), Mask: 0xff, Data: &zeros, OnDone: done})
+	eng.Run()
+	if len(lat) != 2 {
+		t.Fatal("incomplete")
+	}
+	// First write: all SETs (row miss + 120). Second: all RESETs on
+	// data chips... but the ECC word goes 0x00->0xff per word? The
+	// SECDED code of 0xff.. and 0x00.. words are both zero-parity-ish;
+	// rely on observable ordering only.
+	if lat[1] >= lat[0] {
+		t.Fatalf("RESET-only write (%v) should beat SET write (%v)", lat[1], lat[0])
+	}
+}

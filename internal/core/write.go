@@ -1,0 +1,353 @@
+package core
+
+import (
+	"math/bits"
+
+	"pcmap/internal/dimm"
+	"pcmap/internal/ecc"
+	"pcmap/internal/mem"
+	"pcmap/internal/pcm"
+	"pcmap/internal/sim"
+)
+
+// tryIssueWrite attempts to start service of one queued write. It
+// returns true when a write was issued (the scheduling loop then runs
+// again, which is how WoW consolidates several writes in one pass).
+func (c *Controller) tryIssueWrite() bool {
+	if c.wrq.Len() == 0 {
+		return false
+	}
+	overlap := len(c.active) > 0
+	if !c.variant.FineGrained() {
+		// Baseline: one coarse write at a time (it reserves the whole
+		// rank power budget and occupies the full bank).
+		if overlap || c.powerInUse > 0 {
+			return false
+		}
+		r := c.wrq.Oldest(func(r *mem.Request) bool {
+			return !r.Started && r.Kind == mem.Write && c.coarseWriteReady(r)
+		})
+		if r == nil {
+			return false
+		}
+		if c.pausingEnabled() {
+			c.issuePausingWrite(r)
+		} else {
+			c.issueCoarseWrite(r)
+		}
+		return true
+	}
+	if overlap && !c.variant.WoW() {
+		// Fine-grained but non-consolidating variants serialize writes.
+		return false
+	}
+	if c.variant.WoW() && c.activeWrites() >= c.cfg.MaxConcurrentWrites {
+		return false
+	}
+	r := c.wrq.Oldest(func(r *mem.Request) bool {
+		return !r.Started && r.Kind == mem.Write && c.fineWriteReady(r)
+	})
+	if r == nil {
+		return false
+	}
+	c.issueFineWrite(r, overlap)
+	return true
+}
+
+// coarseWriteReady gates the baseline write: the coarse access needs
+// the target bank idle across the DIMM's nine chips (the whole bank is
+// busy until the write completes, Section III-A1).
+func (c *Controller) coarseWriteReady(r *mem.Request) bool {
+	coord := c.decode(r.Addr)
+	for i := 0; i < 9; i++ { // data chips + ECC chip
+		if !c.chipFree(i, coord.Bank) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Controller) fineWriteReady(r *mem.Request) bool {
+	coord := c.decode(r.Addr)
+	ess := r.Mask
+	need := bits.OnesCount8(ess)
+	if need > 0 {
+		need += 2 // ECC and PCC words are programmed too
+	}
+	// A write wider than the whole budget may still run alone.
+	if c.powerInUse+need > c.cfg.PowerSlots && c.powerInUse > 0 {
+		return false
+	}
+	// Essential data chips must be idle now — bank and programming
+	// circuitry both (the paper's non-overlapping-chip-sets
+	// condition); ECC/PCC updates may queue behind a busy code chip
+	// (Figure 5(d) serializes them).
+	now := c.eng.Now()
+	l := c.rank.Layout
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		if ess&(1<<uint(w)) == 0 {
+			continue
+		}
+		chip := c.rank.Chips[l.DataChip(coord.RotIdx, w)]
+		if !chip.FreeAt(coord.Bank, now) || !chip.ProgFreeAt(now) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyWrite applies the request's content to the functional store and
+// returns the essential-word mask (words whose bits actually flip) and
+// the per-chip transition analysis.
+func (c *Controller) applyWrite(r *mem.Request, lineIdx uint64) (uint8, pcm.WriteResult) {
+	data := r.Data
+	if data == nil {
+		data = c.synthesizeWriteData(lineIdx, r.Mask)
+	}
+	res := c.rank.Store.WriteWords(lineIdx, r.Mask, data)
+	var essMask uint8
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		if res.PerWord[w].Any() {
+			essMask |= 1 << uint(w)
+		}
+	}
+	return essMask, res
+}
+
+func (c *Controller) issueCoarseWrite(r *mem.Request) {
+	now := c.eng.Now()
+	r.Started = true
+	r.Issue = now
+	coord := c.decode(r.Addr)
+	essMask, res := c.applyWrite(r, coord.LineIdx)
+	essCount := bits.OnesCount8(essMask)
+	c.Metrics.DirtyWords.Add(essCount)
+	if essCount == 0 {
+		c.Metrics.SilentWrites.Inc()
+	}
+	c.wearTick()
+
+	t := c.commandCost(now, 2)
+	wl := sim.Time(c.cfg.Timing.TWL) * sim.MemCycle
+	burst := sim.Time(c.cfg.Timing.TBurst) * sim.MemCycle
+	_, t0 := c.dataBus.Acquire(t, wl+burst, true)
+
+	rowHit := c.rowHitAll(baselineChipsMask, coord.Bank, coord.Row)
+	act := sim.Time(0)
+	if !rowHit {
+		act = c.cfg.Timing.WriteArrayRead
+	}
+	// Longest transition among data words and the ECC word sets the
+	// lock-step program time of the whole bank.
+	var prog sim.Time
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		if d := c.cfg.Timing.WriteLatency(res.PerWord[w].Sets > 0, res.PerWord[w].Resets > 0); d > prog {
+			prog = d
+		}
+	}
+	if d := c.cfg.Timing.WriteLatency(res.ECCFlips.Sets > 0, res.ECCFlips.Resets > 0); d > prog {
+		prog = d
+	}
+	end := t0
+	for i := 0; i < 9; i++ {
+		_, e := c.rank.Chips[i].ReserveProgram(coord.Bank, t0, act, prog)
+		c.rank.Chips[i].OpenRowIn(coord.Bank, coord.Row)
+		if e > end {
+			end = e
+		}
+	}
+	// Endurance accounting on the programming chips.
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		if res.PerWord[w].Any() {
+			c.rank.Chips[w].CountWrite(res.PerWord[w])
+		}
+	}
+	if res.ECCFlips.Any() {
+		c.rank.Chips[dimm.ECCSlot].CountWrite(res.ECCFlips)
+	}
+
+	c.powerInUse = c.cfg.PowerSlots
+	aw := &activeWrite{req: r, bank: coord.Bank, essCount: essCount, end: end}
+	c.active = append(c.active, aw)
+
+	// IRLP: window covers the write's occupancy; only the chips doing
+	// essential programming count as serving data.
+	if prog > 0 {
+		c.Metrics.IRLP.AddWriteWindow(t0, end)
+		for w := 0; w < ecc.WordsPerLine; w++ {
+			if essMask&(1<<uint(w)) != 0 {
+				pd := c.cfg.Timing.WriteLatency(res.PerWord[w].Sets > 0, res.PerWord[w].Resets > 0)
+				c.Metrics.IRLP.AddChipService(t0+act, t0+act+pd)
+			}
+		}
+	}
+
+	c.eng.At(end, func() { c.completeWrite(r, aw) })
+}
+
+// fineJob describes one chip-word programming job of a fine write.
+type fineJob struct {
+	chip  int
+	flips pcm.FlipKind
+}
+
+func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
+	now := c.eng.Now()
+	r.Started = true
+	r.Issue = now
+	coord := c.decode(r.Addr)
+	essMask, res := c.applyWrite(r, coord.LineIdx)
+	essCount := bits.OnesCount8(essMask)
+	c.Metrics.DirtyWords.Add(essCount)
+	c.wearTick()
+	if overlap {
+		c.Metrics.WoWOverlapped.Inc()
+	}
+
+	l := c.rank.Layout
+	start := now
+	if overlap {
+		// The controller polls the DIMM register before scheduling
+		// around busy chips (Section IV-D1).
+		start = c.statusPollCost(now)
+	}
+
+	if essCount == 0 {
+		// Fully silent write-back: the chips' internal compare finds
+		// nothing to program. Charge the compare on the line's data
+		// chips only when the row is closed (row-buffer compare is
+		// free), and finish.
+		c.Metrics.SilentWrites.Inc()
+		end := start
+		if !c.rowHitAll(l.DataChips(coord.RotIdx), coord.Bank, coord.Row) {
+			dur := c.cfg.Timing.WriteArrayRead
+			for w := 0; w < ecc.WordsPerLine; w++ {
+				chip := l.DataChip(coord.RotIdx, w)
+				_, e := c.reserveChip(chip, coord.Bank, start, dur)
+				c.rank.Chips[chip].OpenRowIn(coord.Bank, coord.Row)
+				if e > end {
+					end = e
+				}
+			}
+		}
+		aw := &activeWrite{req: r, bank: coord.Bank, essCount: 0, end: end}
+		c.active = append(c.active, aw)
+		c.eng.At(end, func() { c.completeWrite(r, aw) })
+		return
+	}
+
+	// Build the job list: essential data words, then ECC, then PCC.
+	jobs := make([]fineJob, 0, essCount+2)
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		if essMask&(1<<uint(w)) != 0 {
+			jobs = append(jobs, fineJob{chip: l.DataChip(coord.RotIdx, w), flips: res.PerWord[w]})
+		}
+	}
+	eccJob := fineJob{chip: l.ECCChip(coord.RotIdx), flips: res.ECCFlips}
+	pccJob := fineJob{chip: l.PCCChip(coord.RotIdx), flips: res.PCCFlips}
+
+	// The two-step RoW split staggers the PCC update after the
+	// data+ECC step, so its peak concurrent programming is one word
+	// lower than an unsplit write's.
+	rowSplit := c.variant.RoW() && (c.rdq.Len() > 0 || c.draining) &&
+		(essCount == 1 || c.cfg.RoWMultiWord)
+	power := essCount + 2
+	if rowSplit {
+		power = essCount + 1
+	}
+	c.powerInUse += power
+
+	// Fine-grained command traffic: one RAS + one CAS per chip job.
+	t := c.commandCost(start, 2*(len(jobs)+2))
+	// Only the essential words cross the data bus (plus code words).
+	wl := sim.Time(c.cfg.Timing.TWL) * sim.MemCycle
+	burstCycles := (essCount + 2 + 7) / 8 * c.cfg.Timing.TBurst
+	_, t0 := c.dataBus.Acquire(t, wl+sim.Time(burstCycles)*sim.MemCycle, true)
+
+	timing := c.cfg.Timing
+	reserveJob := func(j fineJob, earliest sim.Time) (sim.Time, sim.Time) {
+		chip := c.rank.Chips[j.chip]
+		act := sim.Time(0)
+		if !chip.RowHit(coord.Bank, coord.Row) {
+			act = timing.WriteArrayRead
+		}
+		prog := timing.WriteLatency(j.flips.Sets > 0, j.flips.Resets > 0)
+		s, e := chip.ReserveProgram(coord.Bank, earliest, act, prog)
+		chip.OpenRowIn(coord.Bank, coord.Row)
+		if j.flips.Any() {
+			chip.CountWrite(j.flips)
+			c.Metrics.IRLP.AddChipService(e-prog, e)
+		}
+		return s, e
+	}
+
+	var end sim.Time
+	var dataEnd sim.Time
+	if rowSplit && c.cfg.RoWMultiWord && essCount > 1 {
+		// Section IV-B4 extension: serialize the word programs so at
+		// most one data chip is busy at a time, keeping reads
+		// reconstructable throughout.
+		earliest := t0
+		for _, j := range jobs {
+			_, e := reserveJob(j, earliest)
+			earliest = e
+			if e > dataEnd {
+				dataEnd = e
+			}
+		}
+	} else {
+		for _, j := range jobs {
+			_, e := reserveJob(j, t0)
+			if e > dataEnd {
+				dataEnd = e
+			}
+		}
+	}
+	_, eccEnd := reserveJob(eccJob, t0)
+	step1End := dataEnd
+	if eccEnd > step1End {
+		step1End = eccEnd
+	}
+	if rowSplit {
+		// Step 2: the PCC update runs immediately after step 1 with no
+		// interruption (Section IV-B1), freeing the PCC chip during
+		// step 1 so reads can reconstruct against it.
+		_, e := reserveJob(pccJob, step1End)
+		end = e
+	} else {
+		_, e := reserveJob(pccJob, t0)
+		end = e
+		if step1End > end {
+			end = step1End
+		}
+	}
+	if step1End > end {
+		end = step1End
+	}
+
+	c.Metrics.IRLP.AddWriteWindow(t0, end)
+
+	aw := &activeWrite{req: r, bank: coord.Bank, essCount: essCount, end: end}
+	c.active = append(c.active, aw)
+	c.eng.At(end, func() {
+		c.powerInUse -= power
+		c.completeWrite(r, aw)
+	})
+}
+
+func (c *Controller) completeWrite(r *mem.Request, aw *activeWrite) {
+	if !c.variant.FineGrained() {
+		c.powerInUse = 0
+	}
+	c.removeActive(aw)
+	r.Done = c.eng.Now()
+	c.wrq.Remove(r)
+	c.Metrics.Writes.Inc()
+	c.Metrics.WriteLatency.Add(r.Latency())
+	c.Metrics.NoteDone(r.Done)
+	if r.OnDone != nil {
+		r.OnDone(r)
+	}
+	c.notifySpace(mem.Write)
+	c.kick()
+}

@@ -1,0 +1,76 @@
+package ecc
+
+import "encoding/binary"
+
+// WordBytes is the per-chip sub-block size of a cache line.
+const WordBytes = 8
+
+// WordsPerLine is the number of 8-byte words in a 64-byte line.
+const WordsPerLine = 8
+
+// LineBytes is the cache line size.
+const LineBytes = WordBytes * WordsPerLine
+
+// Word extracts data word w (0..7) of a 64-byte line as a uint64.
+func Word(line *[LineBytes]byte, w int) uint64 {
+	return binary.LittleEndian.Uint64(line[w*WordBytes:])
+}
+
+// SetWord stores a uint64 into word w of a 64-byte line.
+func SetWord(line *[LineBytes]byte, w int, v uint64) {
+	binary.LittleEndian.PutUint64(line[w*WordBytes:], v)
+}
+
+// EncodeLine computes the eight SECDED check bytes for a line, one per
+// 8-byte word; this is what the ECC chip stores.
+func EncodeLine(line *[LineBytes]byte) [WordsPerLine]byte {
+	var out [WordsPerLine]byte
+	for w := 0; w < WordsPerLine; w++ {
+		out[w] = Encode64(Word(line, w))
+	}
+	return out
+}
+
+// PCCLine computes the XOR parity word of a line's eight data words;
+// this is what the PCC chip stores. Laid out as 8 bytes so each byte
+// lane of the x8 PCC chip carries the parity of the matching byte lanes.
+func PCCLine(line *[LineBytes]byte) [WordBytes]byte {
+	var out [WordBytes]byte
+	for w := 0; w < WordsPerLine; w++ {
+		for b := 0; b < WordBytes; b++ {
+			out[b] ^= line[w*WordBytes+b]
+		}
+	}
+	return out
+}
+
+// UpdatePCC incrementally updates a PCC word after data word w changes
+// from old to new (XOR cancels the old contribution and adds the new
+// one) — the controller uses this so a single-word write needs only the
+// old word, the new word, and the old parity.
+func UpdatePCC(pcc [WordBytes]byte, oldWord, newWord uint64) [WordBytes]byte {
+	var ob, nb [WordBytes]byte
+	binary.LittleEndian.PutUint64(ob[:], oldWord)
+	binary.LittleEndian.PutUint64(nb[:], newWord)
+	for b := 0; b < WordBytes; b++ {
+		pcc[b] ^= ob[b] ^ nb[b]
+	}
+	return pcc
+}
+
+// ReconstructWord rebuilds the data word at index missing by XOR-ing the
+// other seven data words of the line with the PCC word. This is the RoW
+// read path: the chip holding `missing` is busy with a write and its
+// word is recovered "as if the chip were faulty" (Section IV-B).
+func ReconstructWord(line *[LineBytes]byte, missing int, pcc [WordBytes]byte) uint64 {
+	acc := pcc
+	for w := 0; w < WordsPerLine; w++ {
+		if w == missing {
+			continue
+		}
+		for b := 0; b < WordBytes; b++ {
+			acc[b] ^= line[w*WordBytes+b]
+		}
+	}
+	return binary.LittleEndian.Uint64(acc[:])
+}

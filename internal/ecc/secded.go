@@ -1,0 +1,119 @@
+// Package ecc implements the two error codes the PCMap DIMM stores
+// alongside data (Section II-A and IV-B of the paper):
+//
+//   - SECDED: a Hamming(72,64) code — 7 Hamming check bits plus one
+//     overall parity bit per 64-bit word — providing single-bit error
+//     correction and double-bit error detection. One x8 ECC chip holds
+//     the 8 check bits of each of a cache line's eight words.
+//
+//   - PCC (Parity Correction Code): a RAID-4/5 style XOR of the eight
+//     data words of a cache line, held on a tenth x8 chip. During RoW,
+//     the word resident on a chip that is busy writing is reconstructed
+//     by XOR-ing the other seven data words with the PCC word.
+//
+// The codec is bit-accurate: the simulator really encodes, corrupts,
+// reconstructs, checks and corrects stored bytes.
+package ecc
+
+import "math/bits"
+
+// Status is the outcome of a SECDED check.
+type Status int
+
+const (
+	// OK means the word checked clean.
+	OK Status = iota
+	// CorrectedData means a single-bit error in the data was corrected.
+	CorrectedData
+	// CorrectedCheck means a single-bit error in the stored check bits
+	// was detected (the data itself was clean).
+	CorrectedCheck
+	// DetectedDouble means an uncorrectable double-bit error was found.
+	DetectedDouble
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case CorrectedData:
+		return "corrected-data"
+	case CorrectedCheck:
+		return "corrected-check"
+	case DetectedDouble:
+		return "double-error"
+	default:
+		return "unknown"
+	}
+}
+
+// codeword layout: positions 1..71 hold the Hamming code; positions
+// 1,2,4,8,16,32,64 are the seven check bits, every other position holds
+// one data bit (64 of them). Position 0 conceptually holds the overall
+// parity bit. dataPos[i] is the codeword position of data bit i.
+var dataPos [64]int
+
+func init() {
+	i := 0
+	for pos := 1; pos <= 71; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check bit
+			continue
+		}
+		dataPos[i] = pos
+		i++
+	}
+}
+
+// hamming computes the 7 Hamming check bits for data (bit k of the
+// result is the parity covered by codeword position 2^k).
+func hamming(data uint64) uint8 {
+	var syndrome int
+	for i := 0; i < 64; i++ {
+		if data&(1<<uint(i)) != 0 {
+			syndrome ^= dataPos[i]
+		}
+	}
+	return uint8(syndrome)
+}
+
+// Encode64 returns the 8 SECDED check bits for a 64-bit word: the seven
+// Hamming bits in the low bits and the overall (data+check) parity in
+// bit 7.
+func Encode64(data uint64) uint8 {
+	h := hamming(data) & 0x7f
+	parity := uint(bits.OnesCount64(data)+bits.OnesCount8(h)) & 1
+	return h | uint8(parity<<7)
+}
+
+// Check64 validates data against its stored check byte. It returns the
+// (possibly corrected) data word and the check status.
+func Check64(data uint64, check uint8) (uint64, Status) {
+	expected := hamming(data) & 0x7f
+	stored := check & 0x7f
+	syndrome := expected ^ stored
+	parityOK := uint(bits.OnesCount64(data)+bits.OnesCount8(check))&1 == 0
+
+	switch {
+	case syndrome == 0 && parityOK:
+		return data, OK
+	case syndrome == 0 && !parityOK:
+		// The overall parity bit itself flipped.
+		return data, CorrectedCheck
+	case !parityOK:
+		// Single-bit error at codeword position `syndrome`.
+		if syndrome&(syndrome-1) == 0 {
+			// Error in one of the stored Hamming bits.
+			return data, CorrectedCheck
+		}
+		for i, pos := range dataPos {
+			if pos == int(syndrome) {
+				return data ^ (1 << uint(i)), CorrectedData
+			}
+		}
+		// Syndrome points outside the codeword: treat as uncorrectable.
+		return data, DetectedDouble
+	default:
+		// Non-zero syndrome with good parity: double-bit error.
+		return data, DetectedDouble
+	}
+}

@@ -1,0 +1,157 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcmap/internal/sim"
+)
+
+func TestCheckCleanWord(t *testing.T) {
+	for _, data := range []uint64{0, 1, ^uint64(0), 0xdeadbeefcafebabe} {
+		got, st := Check64(data, Encode64(data))
+		if st != OK || got != data {
+			t.Fatalf("clean word %#x: status %v data %#x", data, st, got)
+		}
+	}
+}
+
+func TestSingleBitCorrectionAllPositions(t *testing.T) {
+	data := uint64(0x0123456789abcdef)
+	check := Encode64(data)
+	for bit := 0; bit < 64; bit++ {
+		corrupt := data ^ (1 << uint(bit))
+		got, st := Check64(corrupt, check)
+		if st != CorrectedData {
+			t.Fatalf("bit %d: status %v, want CorrectedData", bit, st)
+		}
+		if got != data {
+			t.Fatalf("bit %d: corrected to %#x, want %#x", bit, got, data)
+		}
+	}
+}
+
+func TestCheckBitErrorDetected(t *testing.T) {
+	data := uint64(0xfeedface12345678)
+	check := Encode64(data)
+	for bit := 0; bit < 8; bit++ {
+		got, st := Check64(data, check^(1<<uint(bit)))
+		if st != CorrectedCheck {
+			t.Fatalf("check bit %d: status %v, want CorrectedCheck", bit, st)
+		}
+		if got != data {
+			t.Fatalf("check bit %d: data changed to %#x", bit, got)
+		}
+	}
+}
+
+func TestDoubleBitDetection(t *testing.T) {
+	rng := sim.NewRNG(77)
+	misses := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		data := rng.Uint64()
+		check := Encode64(data)
+		b1 := rng.Intn(64)
+		b2 := rng.Intn(64)
+		for b2 == b1 {
+			b2 = rng.Intn(64)
+		}
+		corrupt := data ^ (1 << uint(b1)) ^ (1 << uint(b2))
+		_, st := Check64(corrupt, check)
+		if st != DetectedDouble {
+			misses++
+		}
+	}
+	if misses != 0 {
+		t.Fatalf("%d/%d double-bit errors not detected", misses, n)
+	}
+}
+
+func TestEncodeProperty(t *testing.T) {
+	// Property: for any word and any single flipped data bit, SECDED
+	// recovers the original word.
+	if err := quick.Check(func(data uint64, bit uint8) bool {
+		b := int(bit) % 64
+		check := Encode64(data)
+		got, st := Check64(data^(1<<uint(b)), check)
+		return st == CorrectedData && got == data
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	var line [LineBytes]byte
+	for w := 0; w < WordsPerLine; w++ {
+		SetWord(&line, w, uint64(w)*0x0101010101010101)
+	}
+	for w := 0; w < WordsPerLine; w++ {
+		if got := Word(&line, w); got != uint64(w)*0x0101010101010101 {
+			t.Fatalf("word %d = %#x", w, got)
+		}
+	}
+}
+
+func TestPCCReconstructionAllWords(t *testing.T) {
+	rng := sim.NewRNG(5)
+	var line [LineBytes]byte
+	for i := range line {
+		line[i] = byte(rng.Uint64())
+	}
+	pcc := PCCLine(&line)
+	for missing := 0; missing < WordsPerLine; missing++ {
+		got := ReconstructWord(&line, missing, pcc)
+		want := Word(&line, missing)
+		if got != want {
+			t.Fatalf("reconstruct word %d: got %#x want %#x", missing, got, want)
+		}
+	}
+}
+
+func TestPCCIncrementalUpdate(t *testing.T) {
+	// Property: incrementally updating the PCC word after a word write
+	// matches recomputing it from scratch.
+	if err := quick.Check(func(seed uint64, w uint8, newVal uint64) bool {
+		rng := sim.NewRNG(seed)
+		var line [LineBytes]byte
+		for i := range line {
+			line[i] = byte(rng.Uint64())
+		}
+		word := int(w) % WordsPerLine
+		pcc := PCCLine(&line)
+		old := Word(&line, word)
+		pcc = UpdatePCC(pcc, old, newVal)
+		SetWord(&line, word, newVal)
+		return pcc == PCCLine(&line)
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroLineCodesAreZero(t *testing.T) {
+	var line [LineBytes]byte
+	if e := EncodeLine(&line); e != ([WordsPerLine]byte{}) {
+		t.Fatalf("zero line ECC = %x, want zero", e)
+	}
+	if p := PCCLine(&line); p != ([WordBytes]byte{}) {
+		t.Fatalf("zero line PCC = %x, want zero", p)
+	}
+}
+
+func TestReconstructionDetectsCorruption(t *testing.T) {
+	// If another (present) word is corrupted, the reconstructed missing
+	// word is wrong — exactly the failure RoW's deferred verification
+	// catches.
+	var line [LineBytes]byte
+	for i := range line {
+		line[i] = byte(i * 7)
+	}
+	pcc := PCCLine(&line)
+	clean := ReconstructWord(&line, 3, pcc)
+	line[0] ^= 0x10 // corrupt word 0
+	dirty := ReconstructWord(&line, 3, pcc)
+	if clean == dirty {
+		t.Fatal("corruption of a sibling word should change the reconstruction")
+	}
+}

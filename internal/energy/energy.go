@@ -1,0 +1,87 @@
+// Package energy converts the simulator's activity counters into PCM
+// energy estimates. The paper's evaluation is performance-only, but
+// its motivation leans on PCM's write-energy wall (Section III-A2:
+// matching DRAM write bandwidth would take ~5x the power), so the
+// library reports the write-energy picture alongside performance. Cell
+// energies default to literature-typical SLC PCM values (Lee et al.,
+// ISCA 2009 et seq.).
+package energy
+
+import (
+	"fmt"
+
+	"pcmap/internal/dimm"
+	"pcmap/internal/mem"
+)
+
+// Model carries per-operation energy parameters in picojoules.
+type Model struct {
+	// ReadPJPerBit is array-read (sense) energy.
+	ReadPJPerBit float64
+	// SETPJPerBit and RESETPJPerBit are cell programming energies; SET
+	// is slower but lower-current, RESET is a short high-current pulse.
+	SETPJPerBit   float64
+	RESETPJPerBit float64
+	// BusPJPerBit covers channel transfer energy per transferred bit.
+	BusPJPerBit float64
+}
+
+// Default returns literature-typical SLC PCM parameters.
+func Default() Model {
+	return Model{
+		ReadPJPerBit:  2.0,
+		SETPJPerBit:   13.5,
+		RESETPJPerBit: 19.2,
+		BusPJPerBit:   0.5,
+	}
+}
+
+// Breakdown is an energy report in microjoules.
+type Breakdown struct {
+	ReadUJ  float64 // array reads (demand reads, 72 bits x 8 words each)
+	SetUJ   float64 // SET programming
+	ResetUJ float64 // RESET programming
+	BusUJ   float64 // channel transfers
+	PerChip []float64
+}
+
+// TotalUJ sums the breakdown.
+func (b Breakdown) TotalUJ() float64 { return b.ReadUJ + b.SetUJ + b.ResetUJ + b.BusUJ }
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("read %.2fuJ + SET %.2fuJ + RESET %.2fuJ + bus %.2fuJ = %.2fuJ",
+		b.ReadUJ, b.SetUJ, b.ResetUJ, b.BusUJ, b.TotalUJ())
+}
+
+// lineBits is the bits sensed/transferred per line read (8 words x 72
+// bits with the SECDED check byte).
+const lineBits = 8 * 72
+
+// FromRank computes the energy of one rank's recorded activity.
+func (m Model) FromRank(rank *dimm.Rank, met *mem.Metrics) Breakdown {
+	var b Breakdown
+	pjToUJ := 1e-6
+	reads := float64(met.Reads.Value())
+	b.ReadUJ = reads * lineBits * m.ReadPJPerBit * pjToUJ
+	b.BusUJ = (reads + float64(met.Writes.Value())) * lineBits * m.BusPJPerBit * pjToUJ
+	for _, c := range rank.Chips {
+		set := float64(c.BitsSet) * m.SETPJPerBit * pjToUJ
+		reset := float64(c.BitsReset) * m.RESETPJPerBit * pjToUJ
+		b.SetUJ += set
+		b.ResetUJ += reset
+		b.PerChip = append(b.PerChip, set+reset)
+	}
+	return b
+}
+
+// WriteEnergyPerLineUJ reports average programming energy per
+// completed write, the quantity differential writes (and silent-store
+// elision) reduce.
+func (m Model) WriteEnergyPerLineUJ(rank *dimm.Rank, met *mem.Metrics) float64 {
+	w := float64(met.Writes.Value())
+	if w == 0 {
+		return 0
+	}
+	b := m.FromRank(rank, met)
+	return (b.SetUJ + b.ResetUJ) / w
+}

@@ -1,0 +1,142 @@
+// Package exp defines one experiment per figure and table of the
+// paper's evaluation (Section VI) and the runner that executes the
+// underlying simulations. Runs are memoized — Figures 8-11 share the
+// same 12-workload x 6-variant sweep — and executed in parallel across
+// OS threads (each simulation is single-threaded and deterministic).
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pcmap/internal/config"
+	"pcmap/internal/system"
+)
+
+// Spec identifies one simulation run.
+type Spec struct {
+	Workload string
+	Variant  config.Variant
+	// WriteToReadRatio overrides the cell write/read latency ratio
+	// (Table III); 0 keeps the default 2x.
+	WriteToReadRatio float64
+	// Symmetric makes writes as fast as reads (Figure 1's comparison
+	// device).
+	Symmetric bool
+	// FaultMode: "" (no faults), "always", "never" (Table IV).
+	FaultMode string
+	// WritePausing enables the HPCA 2010 comparator on the baseline.
+	WritePausing bool
+	Seed         uint64
+}
+
+// Runner executes and memoizes simulation runs.
+type Runner struct {
+	// Warmup and Measure are per-core instruction budgets. The paper
+	// runs 200M + 1B; our synthetic generators are stationary so far
+	// smaller budgets converge (see DESIGN.md).
+	Warmup, Measure uint64
+	// Parallelism bounds concurrent simulations (0 = NumCPU).
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(string)
+
+	mu   sync.Mutex
+	memo map[Spec]*system.Results
+}
+
+// NewRunner returns a runner with sensible experiment budgets.
+func NewRunner() *Runner {
+	return &Runner{Warmup: 40_000, Measure: 400_000}
+}
+
+func (r *Runner) configFor(s Spec) *config.Config {
+	cfg := config.Default().WithVariant(s.Variant)
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	if s.WriteToReadRatio > 0 {
+		cfg.Memory.SetWriteToReadRatio(s.WriteToReadRatio)
+	}
+	if s.Symmetric {
+		cfg.Memory.Timing.CellSET = cfg.Memory.Timing.ArrayRead
+		cfg.Memory.Timing.CellRESET = cfg.Memory.Timing.ArrayRead
+	}
+	cfg.Memory.FaultMode = s.FaultMode
+	cfg.Memory.WritePausing = s.WritePausing
+	return cfg
+}
+
+// Run executes (or returns the memoized result of) one spec.
+func (r *Runner) Run(s Spec) (*system.Results, error) {
+	r.mu.Lock()
+	if r.memo == nil {
+		r.memo = make(map[Spec]*system.Results)
+	}
+	if res, ok := r.memo[s]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	sys, err := system.Build(r.configFor(s), s.Workload)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.Run(r.Warmup, r.Measure)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s/%s: %w", s.Workload, s.Variant, err)
+	}
+	r.mu.Lock()
+	r.memo[s] = res
+	r.mu.Unlock()
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("ran %-14s %-9s IPC=%.2f IRLP=%.2f", s.Workload, s.Variant, res.IPCSum, res.IRLPAvg))
+	}
+	return res, nil
+}
+
+// RunAll executes specs concurrently, stopping at the first error.
+func (r *Runner) RunAll(specs []Spec) error {
+	par := r.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par > len(specs) {
+		par = len(specs)
+	}
+	if par < 1 {
+		par = 1
+	}
+	work := make(chan Spec)
+	errc := make(chan error, len(specs))
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				if _, err := r.Run(s); err != nil {
+					errc <- err
+				}
+			}
+		}()
+	}
+	for _, s := range specs {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+	close(errc)
+	return <-errc
+}
+
+// MustRun is Run for callers that already ran RunAll successfully.
+func (r *Runner) MustRun(s Spec) *system.Results {
+	res, err := r.Run(s)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -1,0 +1,48 @@
+package mem
+
+import "pcmap/internal/sim"
+
+// Bus models a shared, serialized channel resource (the 80-bit data bus
+// or the command/address bus). The data bus additionally charges a
+// turnaround delay whenever the transfer direction flips (the write
+// turnaround of Section II-B).
+type Bus struct {
+	freeAt     sim.Time
+	lastWrite  bool
+	any        bool
+	Turnaround sim.Time // applied on direction change (0 for command bus)
+
+	// Busy accumulates total occupied time for utilization reporting.
+	Busy sim.Time
+}
+
+// Acquire books the bus for dur starting no earlier than earliest,
+// honoring previous occupancy and direction turnaround. It returns the
+// transfer's [start, end).
+func (b *Bus) Acquire(earliest, dur sim.Time, write bool) (start, end sim.Time) {
+	start = earliest
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	if b.any && b.lastWrite != write {
+		start += b.Turnaround
+	}
+	end = start + dur
+	b.freeAt = end
+	b.lastWrite = write
+	b.any = true
+	b.Busy += dur
+	return start, end
+}
+
+// FreeAt returns the time the bus next becomes free.
+func (b *Bus) FreeAt() sim.Time { return b.freeAt }
+
+// NextFree returns the later of t and the bus's free time, without
+// booking anything.
+func (b *Bus) NextFree(t sim.Time) sim.Time {
+	if b.freeAt > t {
+		return b.freeAt
+	}
+	return t
+}

@@ -1,0 +1,105 @@
+package mem
+
+import (
+	"pcmap/internal/sim"
+	"pcmap/internal/stats"
+)
+
+// Metrics aggregates everything the paper's evaluation section measures
+// for one memory channel. The experiment harness merges channels.
+type Metrics struct {
+	Reads        stats.Counter
+	Writes       stats.Counter
+	SilentWrites stats.Counter // write-backs with zero essential words
+
+	ReadLatency  *stats.LatencyTracker // arrival to data return
+	WriteLatency *stats.LatencyTracker // arrival to final chip update
+
+	ReadsDelayedByWrite stats.Counter // Figure 1 numerator
+
+	DirtyWords *stats.Histogram // Figure 2: essential words per write
+
+	IRLP *stats.IRLP // Figure 8
+
+	RoWServed     stats.Counter // reads served by reconstruction
+	RoWVerifies   stats.Counter
+	RoWFaulty     stats.Counter // verifications that found bad data
+	WoWOverlapped stats.Counter // writes issued while another write ongoing
+	OverlapReads  stats.Counter // reads issued while a write was in service
+
+	ECCCorrected stats.Counter // SECDED single-bit corrections on reads
+
+	DrainEntries stats.Counter
+	WriteQStalls stats.Counter // enqueue attempts rejected: write queue full
+	ReadQStalls  stats.Counter
+	StatusPolls  stats.Counter
+	WearMoves    stats.Counter // Start-Gap line copies
+	WritePauses  stats.Counter // write-pausing segment interruptions
+
+	FirstArrival sim.Time
+	LastDone     sim.Time
+	haveArrival  bool
+}
+
+// NewMetrics returns a zeroed metrics block.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		ReadLatency:  stats.NewLatencyTracker(),
+		WriteLatency: stats.NewLatencyTracker(),
+		DirtyWords:   stats.NewHistogram(9),
+		IRLP:         stats.NewIRLP(),
+	}
+}
+
+// NoteArrival records the first request arrival (throughput window).
+func (m *Metrics) NoteArrival(t sim.Time) {
+	if !m.haveArrival || t < m.FirstArrival {
+		m.FirstArrival = t
+		m.haveArrival = true
+	}
+}
+
+// NoteDone records a completion time (throughput window).
+func (m *Metrics) NoteDone(t sim.Time) {
+	if t > m.LastDone {
+		m.LastDone = t
+	}
+}
+
+// WriteThroughput returns completed writes per microsecond over the
+// observed window (Figure 9's metric before normalization).
+func (m *Metrics) WriteThroughput() float64 {
+	window := m.LastDone - m.FirstArrival
+	if window <= 0 {
+		return 0
+	}
+	return float64(m.Writes.Value()) / (float64(window) / float64(sim.Microsecond))
+}
+
+// Merge folds other into m (used to aggregate channels). Latency
+// trackers and histograms are merged bucket-wise.
+func (m *Metrics) Merge(other *Metrics) {
+	m.Reads.Add(other.Reads.Value())
+	m.Writes.Add(other.Writes.Value())
+	m.SilentWrites.Add(other.SilentWrites.Value())
+	m.ReadsDelayedByWrite.Add(other.ReadsDelayedByWrite.Value())
+	m.RoWServed.Add(other.RoWServed.Value())
+	m.RoWVerifies.Add(other.RoWVerifies.Value())
+	m.RoWFaulty.Add(other.RoWFaulty.Value())
+	m.WoWOverlapped.Add(other.WoWOverlapped.Value())
+	m.OverlapReads.Add(other.OverlapReads.Value())
+	m.ECCCorrected.Add(other.ECCCorrected.Value())
+	m.DrainEntries.Add(other.DrainEntries.Value())
+	m.WriteQStalls.Add(other.WriteQStalls.Value())
+	m.ReadQStalls.Add(other.ReadQStalls.Value())
+	m.StatusPolls.Add(other.StatusPolls.Value())
+	m.WearMoves.Add(other.WearMoves.Value())
+	m.WritePauses.Add(other.WritePauses.Value())
+	stats.MergeLatency(m.ReadLatency, other.ReadLatency)
+	stats.MergeLatency(m.WriteLatency, other.WriteLatency)
+	stats.MergeHistogram(m.DirtyWords, other.DirtyWords)
+	if other.haveArrival {
+		m.NoteArrival(other.FirstArrival)
+	}
+	m.NoteDone(other.LastDone)
+}

@@ -1,0 +1,151 @@
+// Package noc models the on-chip interconnect of Table I: a 2x4
+// packet-switched mesh with XY (dimension-ordered) routing, a 1-cycle
+// router and 1-cycle link per hop. Cores and cache banks are placed on
+// the mesh nodes; the model provides per-message latency plus light
+// per-link serialization so hot links queue.
+package noc
+
+import (
+	"fmt"
+
+	"pcmap/internal/config"
+	"pcmap/internal/sim"
+)
+
+// Mesh is the interconnect. One Mesh instance serves a whole chip.
+type Mesh struct {
+	rows, cols int
+	router     sim.Time // per-hop router traversal
+	link       sim.Time // per-hop link traversal
+	flitBytes  int
+
+	// linkFree[l] is when directed link l is next free; links are
+	// indexed by (fromNode, direction).
+	linkFree []sim.Time
+
+	Messages stats64
+	Hops     stats64
+}
+
+type stats64 struct{ n, sum uint64 }
+
+func (s *stats64) add(v int) { s.n++; s.sum += uint64(v) }
+
+// Count returns the number of recorded samples.
+func (s *stats64) Count() uint64 { return s.n }
+
+// Mean returns the average sample.
+func (s *stats64) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(s.n)
+}
+
+const numDirs = 4 // E, W, N, S
+
+// New builds the mesh from the configuration.
+func New(cfg config.NoC) *Mesh {
+	return &Mesh{
+		rows:      cfg.Rows,
+		cols:      cfg.Cols,
+		router:    sim.Time(cfg.RouterCycles) * sim.CPUCycle,
+		link:      sim.Time(cfg.LinkCycles) * sim.CPUCycle,
+		flitBytes: cfg.FlitBytes,
+		linkFree:  make([]sim.Time, cfg.Rows*cfg.Cols*numDirs),
+	}
+}
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.rows * m.cols }
+
+// coord splits a node id into (row, col).
+func (m *Mesh) coord(node int) (int, int) { return node / m.cols, node % m.cols }
+
+// HopCount returns the XY-routing hop count between two nodes.
+func (m *Mesh) HopCount(from, to int) int {
+	fr, fc := m.coord(from)
+	tr, tc := m.coord(to)
+	return abs(fr-tr) + abs(fc-tc)
+}
+
+// route enumerates the directed links of the XY path from -> to,
+// calling visit with each (node, direction) pair.
+func (m *Mesh) route(from, to int, visit func(node, dir int)) {
+	r, c := m.coord(from)
+	tr, tc := m.coord(to)
+	for c != tc {
+		if c < tc {
+			visit(r*m.cols+c, 0) // east
+			c++
+		} else {
+			visit(r*m.cols+c, 1) // west
+			c--
+		}
+	}
+	for r != tr {
+		if r < tr {
+			visit(r*m.cols+c, 2) // south
+			r++
+		} else {
+			visit(r*m.cols+c, 3) // north
+			r--
+		}
+	}
+}
+
+// Send books a message of size bytes from node from to node to,
+// departing no earlier than depart. It returns the arrival time,
+// accounting router+link latency per hop, flit serialization, and
+// queueing on each traversed link. from == to costs nothing.
+func (m *Mesh) Send(from, to int, bytes int, depart sim.Time) sim.Time {
+	if from == to {
+		return depart
+	}
+	flits := (bytes + m.flitBytes - 1) / m.flitBytes
+	if flits < 1 {
+		flits = 1
+	}
+	serialization := sim.Time(flits-1) * m.link
+	t := depart
+	hops := 0
+	m.route(from, to, func(node, dir int) {
+		idx := node*numDirs + dir
+		if m.linkFree[idx] > t {
+			t = m.linkFree[idx]
+		}
+		t += m.router + m.link
+		m.linkFree[idx] = t - m.link + serialization
+		hops++
+	})
+	t += serialization
+	m.Messages.add(1)
+	m.Hops.add(hops)
+	return t
+}
+
+// Latency returns the unloaded latency for a message (no booking).
+func (m *Mesh) Latency(from, to int, bytes int) sim.Time {
+	hops := m.HopCount(from, to)
+	flits := (bytes + m.flitBytes - 1) / m.flitBytes
+	if flits < 1 {
+		flits = 1
+	}
+	return sim.Time(hops)*(m.router+m.link) + sim.Time(flits-1)*m.link
+}
+
+// CoreNode maps core i to its mesh node (cores fill the mesh row-major).
+func (m *Mesh) CoreNode(core int) int { return core % m.Nodes() }
+
+// BankNode maps cache bank b to its mesh node (banks co-located with
+// nodes round-robin, the usual tiled layout).
+func (m *Mesh) BankNode(bank int) int { return bank % m.Nodes() }
+
+func (m *Mesh) String() string { return fmt.Sprintf("mesh(%dx%d)", m.rows, m.cols) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

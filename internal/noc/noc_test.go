@@ -1,0 +1,106 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcmap/internal/config"
+	"pcmap/internal/sim"
+)
+
+func mesh() *Mesh { return New(config.Default().NoC) }
+
+func TestHopCount(t *testing.T) {
+	m := mesh() // 2x4
+	cases := []struct{ from, to, hops int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 4, 1}, // straight down
+		{0, 7, 4}, // 3 east + 1 south
+		{3, 4, 4},
+	}
+	for _, c := range cases {
+		if got := m.HopCount(c.from, c.to); got != c.hops {
+			t.Fatalf("hops(%d,%d) = %d, want %d", c.from, c.to, got, c.hops)
+		}
+	}
+}
+
+func TestHopCountSymmetric(t *testing.T) {
+	m := mesh()
+	if err := quick.Check(func(a, b uint8) bool {
+		f, to := int(a)%8, int(b)%8
+		return m.HopCount(f, to) == m.HopCount(to, f)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalSendIsFree(t *testing.T) {
+	m := mesh()
+	if got := m.Send(3, 3, 64, 100); got != 100 {
+		t.Fatalf("local send arrived at %v, want 100", got)
+	}
+}
+
+func TestUnloadedLatency(t *testing.T) {
+	m := mesh()
+	// 1 hop, single flit: router(1cy) + link(1cy) = 2 CPU cycles.
+	if got := m.Latency(0, 1, 8); got != 2*sim.CPUCycle {
+		t.Fatalf("1-hop latency %v", got)
+	}
+	// A 64B message is 4 flits of 16B: 3 extra link cycles.
+	if got := m.Latency(0, 1, 64); got != 5*sim.CPUCycle {
+		t.Fatalf("1-hop 64B latency %v", got)
+	}
+}
+
+func TestSendMatchesUnloadedWhenIdle(t *testing.T) {
+	m := mesh()
+	want := sim.Time(1000) + m.Latency(0, 7, 64)
+	if got := m.Send(0, 7, 64, 1000); got != want {
+		t.Fatalf("idle send %v, want %v", got, want)
+	}
+}
+
+func TestLinkContentionQueues(t *testing.T) {
+	m := mesh()
+	a := m.Send(0, 1, 64, 0)
+	b := m.Send(0, 1, 64, 0) // same link, same instant
+	if b <= a {
+		t.Fatalf("second message should queue: %v vs %v", b, a)
+	}
+}
+
+func TestDisjointPathsDoNotContend(t *testing.T) {
+	m := mesh()
+	a := m.Send(0, 1, 8, 0)
+	b := m.Send(4, 5, 8, 0) // other row, disjoint links
+	if a != b {
+		t.Fatalf("disjoint paths should be independent: %v vs %v", a, b)
+	}
+}
+
+func TestSendMonotoneInTime(t *testing.T) {
+	m := mesh()
+	if err := quick.Check(func(a, b uint8, d uint16) bool {
+		from, to := int(a)%8, int(b)%8
+		arr := m.Send(from, to, 16, sim.Time(d))
+		return arr >= sim.Time(d)
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	m := mesh()
+	m.Send(0, 7, 64, 0)
+	m.Send(0, 7, 64, 0)
+	if m.Messages.Count() != 2 {
+		t.Fatalf("messages %d", m.Messages.Count())
+	}
+	if m.Hops.Mean() != 4 {
+		t.Fatalf("mean hops %v, want 4", m.Hops.Mean())
+	}
+}

@@ -1,0 +1,107 @@
+package pcm
+
+import (
+	"pcmap/internal/sim"
+)
+
+// NoRow marks a closed row buffer.
+const NoRow int64 = -1
+
+// ChipBank is the timing state of one bank inside one chip. With rank
+// subsetting each chip-bank is an independently schedulable resource:
+// it serializes its own operations but overlaps freely with other banks
+// of the same chip and with the same bank of other chips.
+type ChipBank struct {
+	BusyUntil sim.Time
+	OpenRow   int64
+}
+
+// Chip is one x8 PCM device of a rank.
+type Chip struct {
+	ID    int
+	Banks []ChipBank
+
+	// ProgBusyUntil serializes cell programming across the chip's
+	// banks: a PCM die's write-power delivery programs one bank at a
+	// time, so concurrent writes queue at the chip even when they
+	// target different banks. (Array reads remain per-bank.) This is
+	// why an un-rotated ECC chip serializes every write of the rank —
+	// the contention PCMap's ECC/PCC rotation removes.
+	ProgBusyUntil sim.Time
+
+	// Endurance / activity counters.
+	WordWrites uint64 // word-granularity programming operations
+	BitsSet    uint64 // cells programmed 0->1
+	BitsReset  uint64 // cells programmed 1->0
+	BusySum    sim.Time
+}
+
+// NewChip returns a chip with banks closed and idle.
+func NewChip(id, banks int) *Chip {
+	c := &Chip{ID: id, Banks: make([]ChipBank, banks)}
+	for i := range c.Banks {
+		c.Banks[i].OpenRow = NoRow
+	}
+	return c
+}
+
+// FreeAt reports whether the given bank of this chip is idle at time t.
+func (c *Chip) FreeAt(bank int, t sim.Time) bool {
+	return c.Banks[bank].BusyUntil <= t
+}
+
+// Reserve books the chip-bank for a service interval starting no
+// earlier than earliest and no earlier than the bank's current
+// busy-until time, lasting dur. It returns the actual [start, end) and
+// records the occupancy.
+func (c *Chip) Reserve(bank int, earliest sim.Time, dur sim.Time) (start, end sim.Time) {
+	b := &c.Banks[bank]
+	start = earliest
+	if b.BusyUntil > start {
+		start = b.BusyUntil
+	}
+	end = start + dur
+	b.BusyUntil = end
+	c.BusySum += dur
+	return start, end
+}
+
+// ReserveProgram books a programming operation: the bank-level array
+// read (act) may overlap other banks, but the cell-programming phase
+// (prog) serializes with every other programming operation on this
+// chip. It returns the operation's [start, end).
+func (c *Chip) ReserveProgram(bank int, earliest, act, prog sim.Time) (start, end sim.Time) {
+	b := &c.Banks[bank]
+	start = earliest
+	if b.BusyUntil > start {
+		start = b.BusyUntil
+	}
+	progStart := start + act
+	if prog > 0 && c.ProgBusyUntil > progStart {
+		progStart = c.ProgBusyUntil
+	}
+	end = progStart + prog
+	b.BusyUntil = end
+	if prog > 0 {
+		c.ProgBusyUntil = end
+	}
+	c.BusySum += end - start
+	return start, end
+}
+
+// ProgFreeAt reports whether the chip's programming circuitry is idle
+// at time t.
+func (c *Chip) ProgFreeAt(t sim.Time) bool { return c.ProgBusyUntil <= t }
+
+// RowHit reports whether row is open in the chip's bank.
+func (c *Chip) RowHit(bank int, row int64) bool { return c.Banks[bank].OpenRow == row }
+
+// OpenRowIn records that the bank's row buffer now holds row.
+func (c *Chip) OpenRowIn(bank int, row int64) { c.Banks[bank].OpenRow = row }
+
+// CountWrite accumulates endurance counters for a word write.
+func (c *Chip) CountWrite(f FlipKind) {
+	c.WordWrites++
+	c.BitsSet += uint64(f.Sets)
+	c.BitsReset += uint64(f.Resets)
+}

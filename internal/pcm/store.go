@@ -1,0 +1,168 @@
+// Package pcm models the Phase Change Memory devices of a rank: the
+// functional content of every stored cache line (data plus SECDED ECC
+// plus PCC parity, kept bit-accurate so that reconstruction and
+// verification are real operations, not flags), the per-chip per-bank
+// timing state (open rows, busy-until times), differential-write
+// analysis (which bits flip, and whether the slow SET or the faster
+// RESET transition dominates), and endurance counters.
+package pcm
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pcmap/internal/ecc"
+)
+
+// Line is the stored content of one 64-byte cache line together with
+// its error-code words. The zero value is code-consistent: an all-zero
+// line has all-zero ECC and PCC words.
+type Line struct {
+	Data [ecc.LineBytes]byte
+	ECC  [ecc.WordsPerLine]byte
+	PCC  [ecc.WordBytes]byte
+}
+
+// CheckConsistent verifies that the stored ECC and PCC words match the
+// stored data, returning a descriptive error on the first mismatch. The
+// simulator calls this in tests and debug assertions.
+func (l *Line) CheckConsistent() error {
+	wantECC := ecc.EncodeLine(&l.Data)
+	if wantECC != l.ECC {
+		return fmt.Errorf("pcm: ECC mismatch: stored %x want %x", l.ECC, wantECC)
+	}
+	wantPCC := ecc.PCCLine(&l.Data)
+	if wantPCC != l.PCC {
+		return fmt.Errorf("pcm: PCC mismatch: stored %x want %x", l.PCC, wantPCC)
+	}
+	return nil
+}
+
+// Store is the sparse functional content of one rank's PCM arrays,
+// keyed by line index (line address within the rank). Lines never
+// written read as zero.
+type Store struct {
+	lines map[uint64]*Line
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{lines: make(map[uint64]*Line)} }
+
+// Lines returns the number of distinct lines ever written.
+func (s *Store) Lines() int { return len(s.lines) }
+
+var zeroLine Line
+
+// Peek returns the stored line, or a shared all-zero line if the
+// address was never written. Callers must not mutate the result of a
+// never-written address; use Get for mutation.
+func (s *Store) Peek(lineIdx uint64) *Line {
+	if l, ok := s.lines[lineIdx]; ok {
+		return l
+	}
+	return &zeroLine
+}
+
+// Get returns the stored line, allocating it on first touch.
+func (s *Store) Get(lineIdx uint64) *Line {
+	l, ok := s.lines[lineIdx]
+	if !ok {
+		l = &Line{}
+		s.lines[lineIdx] = l
+	}
+	return l
+}
+
+// FlipKind classifies the cell transitions a word write needs.
+type FlipKind struct {
+	Sets   int // 0 -> 1 transitions (slow SET pulses)
+	Resets int // 1 -> 0 transitions (faster RESET pulses)
+}
+
+// Any reports whether the write changes any bit at all.
+func (f FlipKind) Any() bool { return f.Sets > 0 || f.Resets > 0 }
+
+// AnalyzeWordWrite reports the transitions needed to overwrite old with
+// new, as a differential write would program them.
+func AnalyzeWordWrite(oldWord, newWord uint64) FlipKind {
+	changed := oldWord ^ newWord
+	return FlipKind{
+		Sets:   bits.OnesCount64(changed & newWord), // bits going to 1
+		Resets: bits.OnesCount64(changed & oldWord), // bits going to 0
+	}
+}
+
+// WriteResult summarizes the functional effect of a line write.
+type WriteResult struct {
+	PerWord    [ecc.WordsPerLine]FlipKind // data-word transitions
+	ECCFlips   FlipKind                   // transitions on the ECC chip's word
+	PCCFlips   FlipKind                   // transitions on the PCC chip's word
+	WordsDirty int                        // number of words with Any() transitions
+}
+
+// WriteWords applies a masked line write: for every word whose bit is
+// set in mask, the corresponding 8 bytes of newData replace the stored
+// word. ECC and PCC words are recomputed (incrementally, mirroring the
+// controller's hardware) and the transition analysis for every involved
+// chip is returned. Endurance is the caller's concern (the chips count
+// it); the store only mutates content.
+func (s *Store) WriteWords(lineIdx uint64, mask uint8, newData *[ecc.LineBytes]byte) WriteResult {
+	var res WriteResult
+	if mask == 0 {
+		return res
+	}
+	l := s.Get(lineIdx)
+	oldECCWord := eccWord(l.ECC)
+	oldPCCWord := wordOf(l.PCC)
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		oldWord := ecc.Word(&l.Data, w)
+		newWord := ecc.Word(newData, w)
+		res.PerWord[w] = AnalyzeWordWrite(oldWord, newWord)
+		if res.PerWord[w].Any() {
+			res.WordsDirty++
+		}
+		l.PCC = ecc.UpdatePCC(l.PCC, oldWord, newWord)
+		ecc.SetWord(&l.Data, w, newWord)
+		l.ECC[w] = ecc.Encode64(newWord)
+	}
+	res.ECCFlips = AnalyzeWordWrite(oldECCWord, eccWord(l.ECC))
+	res.PCCFlips = AnalyzeWordWrite(oldPCCWord, wordOf(l.PCC))
+	return res
+}
+
+func eccWord(e [ecc.WordsPerLine]byte) uint64 {
+	var v uint64
+	for i, b := range e {
+		v |= uint64(b) << uint(8*i)
+	}
+	return v
+}
+
+func wordOf(p [ecc.WordBytes]byte) uint64 {
+	var v uint64
+	for i, b := range p {
+		v |= uint64(b) << uint(8*i)
+	}
+	return v
+}
+
+// ReadLine copies the stored data of a line into out.
+func (s *Store) ReadLine(lineIdx uint64, out *[ecc.LineBytes]byte) {
+	*out = s.Peek(lineIdx).Data
+}
+
+// ReconstructWord performs the RoW read-path reconstruction for the
+// given line: it rebuilds the word at index missing from the other
+// seven data words and the stored PCC word, exactly as the controller's
+// XOR network would (Section IV-B). The bool result reports whether the
+// reconstruction matches the stored word — it always should unless a
+// fault was injected into the stored content.
+func (s *Store) ReconstructWord(lineIdx uint64, missing int) (uint64, bool) {
+	l := s.Peek(lineIdx)
+	got := ecc.ReconstructWord(&l.Data, missing, l.PCC)
+	want := ecc.Word(&l.Data, missing)
+	return got, got == want
+}

@@ -1,0 +1,172 @@
+package pcm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcmap/internal/ecc"
+	"pcmap/internal/sim"
+)
+
+func randomLine(rng *sim.RNG) *[ecc.LineBytes]byte {
+	var l [ecc.LineBytes]byte
+	for i := range l {
+		l[i] = byte(rng.Uint64())
+	}
+	return &l
+}
+
+func TestStoreZeroDefault(t *testing.T) {
+	s := NewStore()
+	var out [ecc.LineBytes]byte
+	s.ReadLine(12345, &out)
+	if out != ([ecc.LineBytes]byte{}) {
+		t.Fatal("never-written line should read as zero")
+	}
+	if s.Lines() != 0 {
+		t.Fatalf("Peek must not allocate; have %d lines", s.Lines())
+	}
+}
+
+func TestWriteWordsMaskedUpdate(t *testing.T) {
+	s := NewStore()
+	rng := sim.NewRNG(3)
+	data := randomLine(rng)
+	res := s.WriteWords(7, 0b00000101, data) // words 0 and 2
+	if res.WordsDirty != 2 {
+		t.Fatalf("WordsDirty = %d, want 2", res.WordsDirty)
+	}
+	var out [ecc.LineBytes]byte
+	s.ReadLine(7, &out)
+	for w := 0; w < 8; w++ {
+		got := ecc.Word(&out, w)
+		if w == 0 || w == 2 {
+			if got != ecc.Word(data, w) {
+				t.Fatalf("masked word %d not written", w)
+			}
+		} else if got != 0 {
+			t.Fatalf("unmasked word %d modified to %#x", w, got)
+		}
+	}
+}
+
+func TestWriteKeepsCodesConsistent(t *testing.T) {
+	s := NewStore()
+	rng := sim.NewRNG(9)
+	for i := 0; i < 500; i++ {
+		idx := uint64(rng.Intn(16))
+		mask := uint8(rng.Uint64())
+		s.WriteWords(idx, mask, randomLine(rng))
+		if err := s.Peek(idx).CheckConsistent(); err != nil {
+			t.Fatalf("after write %d: %v", i, err)
+		}
+	}
+}
+
+func TestReconstructAfterRandomWrites(t *testing.T) {
+	s := NewStore()
+	rng := sim.NewRNG(21)
+	for i := 0; i < 300; i++ {
+		idx := uint64(rng.Intn(8))
+		s.WriteWords(idx, uint8(rng.Uint64()), randomLine(rng))
+		missing := rng.Intn(8)
+		if _, ok := s.ReconstructWord(idx, missing); !ok {
+			t.Fatalf("reconstruction failed for line %d word %d", idx, missing)
+		}
+	}
+}
+
+func TestAnalyzeWordWrite(t *testing.T) {
+	cases := []struct {
+		old, new     uint64
+		sets, resets int
+	}{
+		{0, 0, 0, 0},
+		{0, 1, 1, 0},
+		{1, 0, 0, 1},
+		{0b1010, 0b0101, 2, 2},
+		{^uint64(0), 0, 0, 64},
+		{0, ^uint64(0), 64, 0},
+	}
+	for _, c := range cases {
+		f := AnalyzeWordWrite(c.old, c.new)
+		if f.Sets != c.sets || f.Resets != c.resets {
+			t.Fatalf("Analyze(%#x,%#x) = %+v, want sets=%d resets=%d", c.old, c.new, f, c.sets, c.resets)
+		}
+	}
+}
+
+func TestAnalyzeProperty(t *testing.T) {
+	// Property: total flips equals the popcount of old XOR new, and a
+	// write is silent iff old == new.
+	if err := quick.Check(func(a, b uint64) bool {
+		f := AnalyzeWordWrite(a, b)
+		diff := a ^ b
+		pop := 0
+		for diff != 0 {
+			diff &= diff - 1
+			pop++
+		}
+		return f.Sets+f.Resets == pop && f.Any() == (a != b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSilentMaskedWrite(t *testing.T) {
+	s := NewStore()
+	rng := sim.NewRNG(5)
+	data := randomLine(rng)
+	s.WriteWords(3, 0xff, data)
+	// Rewriting identical content must be fully silent.
+	res := s.WriteWords(3, 0xff, data)
+	if res.WordsDirty != 0 {
+		t.Fatalf("identical rewrite dirtied %d words", res.WordsDirty)
+	}
+	if res.ECCFlips.Any() || res.PCCFlips.Any() {
+		t.Fatal("identical rewrite flipped code bits")
+	}
+}
+
+func TestZeroMaskIsNoop(t *testing.T) {
+	s := NewStore()
+	rng := sim.NewRNG(6)
+	res := s.WriteWords(4, 0, randomLine(rng))
+	if res.WordsDirty != 0 || s.Lines() != 0 {
+		t.Fatal("zero-mask write must not touch the store")
+	}
+}
+
+func TestChipReserveSerializes(t *testing.T) {
+	c := NewChip(0, 8)
+	s1, e1 := c.Reserve(2, 100, 50)
+	if s1 != 100 || e1 != 150 {
+		t.Fatalf("first reservation [%v,%v)", s1, e1)
+	}
+	s2, e2 := c.Reserve(2, 120, 30)
+	if s2 != 150 || e2 != 180 {
+		t.Fatalf("overlapping reservation should chain: [%v,%v)", s2, e2)
+	}
+	// Other banks are independent.
+	s3, _ := c.Reserve(3, 120, 30)
+	if s3 != 120 {
+		t.Fatalf("different bank should not chain: start %v", s3)
+	}
+	if c.FreeAt(2, 160) {
+		t.Fatal("bank 2 should be busy at 160")
+	}
+	if !c.FreeAt(2, 180) {
+		t.Fatal("bank 2 should be free at 180")
+	}
+}
+
+func TestChipRowState(t *testing.T) {
+	c := NewChip(1, 4)
+	if c.RowHit(0, 5) {
+		t.Fatal("closed bank should miss")
+	}
+	c.OpenRowIn(0, 5)
+	if !c.RowHit(0, 5) || c.RowHit(1, 5) {
+		t.Fatal("row state per bank is wrong")
+	}
+}

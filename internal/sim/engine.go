@@ -1,0 +1,142 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// used by every other component of the PCMap reproduction.
+//
+// Time is measured in integer ticks of 100 picoseconds, which is the
+// least common granularity needed to express both the 2.5 GHz CPU clock
+// (one cycle = 4 ticks) and the 400 MHz DDR3 memory clock (one cycle =
+// 25 ticks) from Table I of the paper without rounding error.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in ticks of 100 ps.
+type Time int64
+
+// Common durations expressed in ticks.
+const (
+	Tick        Time = 1
+	Picosecond       = 0 // smaller than one tick; defined for documentation
+	Nanosecond  Time = 10
+	Microsecond Time = 10 * 1000
+	Millisecond Time = 10 * 1000 * 1000
+
+	// CPUCycle is one cycle of the 2.5 GHz processor clock (0.4 ns).
+	CPUCycle Time = 4
+	// MemCycle is one cycle of the 400 MHz memory clock (2.5 ns).
+	MemCycle Time = 25
+)
+
+// Nanoseconds reports t as a floating point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / 10 }
+
+// CPUCycles reports t as a floating point number of CPU cycles.
+func (t Time) CPUCycles() float64 { return float64(t) / float64(CPUCycle) }
+
+// MemCycles reports t as a floating point number of memory cycles.
+func (t Time) MemCycles() float64 { return float64(t) / float64(MemCycle) }
+
+func (t Time) String() string { return fmt.Sprintf("%.1fns", t.Nanoseconds()) }
+
+// NS returns a duration of n nanoseconds.
+func NS(n float64) Time { return Time(n * 10) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker for deterministic ordering
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+// Engine is not safe for concurrent use; the whole simulation is single
+// threaded and deterministic, which is what a reproducibility study needs.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nsteps uint64
+}
+
+// NewEngine returns an empty engine starting at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// Pending returns the number of scheduled, not yet executed events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay ticks. A negative delay panics: scheduling
+// into the past would silently break causality.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: schedule into the past (delay %d)", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t, which must not precede the current time.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the next event. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.nsteps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then advances the
+// clock to t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for d ticks from the current time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if NS(60) != 600 {
+		t.Fatalf("NS(60) = %d, want 600 ticks", NS(60))
+	}
+	if CPUCycle*Time(2500) != Microsecond {
+		t.Fatalf("2500 CPU cycles should equal 1us, got %v", CPUCycle*Time(2500))
+	}
+	if MemCycle*Time(400) != Microsecond {
+		t.Fatalf("400 mem cycles should equal 1us, got %v", MemCycle*Time(400))
+	}
+	if got := Time(25).Nanoseconds(); got != 2.5 {
+		t.Fatalf("25 ticks = %v ns, want 2.5", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock at %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOWithinSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits int
+	var recur func()
+	recur = func() {
+		hits++
+		if hits < 100 {
+			e.Schedule(7, recur)
+		}
+	}
+	e.Schedule(0, recur)
+	e.Run()
+	if hits != 100 {
+		t.Fatalf("got %d hits, want 100", hits)
+	}
+	if e.Now() != 99*7 {
+		t.Fatalf("clock %v, want %v", e.Now(), 99*7)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{5, 10, 15, 20} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("expected 2 events by t=12, got %v", fired)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("clock %v, want 12", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("expected all 4 events after Run, got %v", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past should panic")
+		}
+	}()
+	e := NewEngine()
+	e.Schedule(-1, func() {})
+}
+
+func TestAtBeforeNowPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At before now should panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds look correlated: %d collisions", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	if err := quick.Check(func(_ int) bool {
+		f := r.Float64()
+		return f >= 0 && f < 1
+	}, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPick(t *testing.T) {
+	r := NewRNG(9)
+	weights := []float64{0, 1, 3, 0, 6}
+	counts := make([]int, len(weights))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(weights)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("zero-weight buckets picked: %v", counts)
+	}
+	// Expect roughly 10% / 30% / 60%.
+	if f := float64(counts[1]) / n; f < 0.08 || f > 0.12 {
+		t.Fatalf("bucket 1 frequency %.3f, want ~0.10", f)
+	}
+	if f := float64(counts[4]) / n; f < 0.57 || f > 0.63 {
+		t.Fatalf("bucket 4 frequency %.3f, want ~0.60", f)
+	}
+}
+
+func TestRNGPickDegenerate(t *testing.T) {
+	r := NewRNG(1)
+	if got := r.Pick([]float64{0, 0, 0}); got != 0 {
+		t.Fatalf("all-zero weights should pick 0, got %d", got)
+	}
+	if got := r.Pick([]float64{5}); got != 0 {
+		t.Fatalf("single bucket should pick 0, got %d", got)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(50)
+	}
+	mean := sum / n
+	if mean < 48 || mean > 52 {
+		t.Fatalf("Exp(50) sample mean %.2f, want ~50", mean)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	f := float64(hits) / n
+	if f < 0.23 || f > 0.27 {
+		t.Fatalf("Bool(0.25) frequency %.3f", f)
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"pcmap/internal/sim"
+)
+
+// refIRLP is a brute-force reference: discretize the timeline at unit
+// resolution and average the clamped busy-chip count over instants
+// covered by at least one write window.
+func refIRLP(writes, chips [][2]sim.Time, maxChips int) (avg float64, busy sim.Time, maxBusy int) {
+	var lo, hi sim.Time
+	first := true
+	for _, w := range append(append([][2]sim.Time{}, writes...), chips...) {
+		if first || w[0] < lo {
+			lo = w[0]
+		}
+		if first || w[1] > hi {
+			hi = w[1]
+		}
+		first = false
+	}
+	var integral float64
+	for t := lo; t < hi; t++ {
+		inWrite := false
+		for _, w := range writes {
+			if t >= w[0] && t < w[1] {
+				inWrite = true
+				break
+			}
+		}
+		if !inWrite {
+			continue
+		}
+		n := 0
+		for _, c := range chips {
+			if t >= c[0] && t < c[1] {
+				n++
+			}
+		}
+		if n > maxChips {
+			n = maxChips
+		}
+		integral += float64(n)
+		busy++
+		if n > maxBusy {
+			maxBusy = n
+		}
+	}
+	if busy > 0 {
+		avg = integral / float64(busy)
+	}
+	return avg, busy, maxBusy
+}
+
+// TestIRLPMatchesBruteForce cross-checks the sweep implementation
+// against the discretized reference on many random interval sets.
+func TestIRLPMatchesBruteForce(t *testing.T) {
+	rng := sim.NewRNG(123)
+	for trial := 0; trial < 200; trial++ {
+		var writes, chips [][2]sim.Time
+		x := NewIRLP()
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			s := sim.Time(rng.Intn(80))
+			e := s + sim.Time(1+rng.Intn(40))
+			writes = append(writes, [2]sim.Time{s, e})
+			x.AddWriteWindow(s, e)
+		}
+		for i := 0; i < rng.Intn(12); i++ {
+			s := sim.Time(rng.Intn(120))
+			e := s + sim.Time(1+rng.Intn(30))
+			chips = append(chips, [2]sim.Time{s, e})
+			x.AddChipService(s, e)
+		}
+		x.Finalize(8)
+		wantAvg, wantBusy, wantMax := refIRLP(writes, chips, 8)
+		if x.WriteBusyTime() != wantBusy {
+			t.Fatalf("trial %d: busy %v, reference %v", trial, x.WriteBusyTime(), wantBusy)
+		}
+		if math.Abs(x.Average()-wantAvg) > 1e-9 {
+			t.Fatalf("trial %d: avg %v, reference %v", trial, x.Average(), wantAvg)
+		}
+		if x.MaxBusy() != wantMax {
+			t.Fatalf("trial %d: max %d, reference %d", trial, x.MaxBusy(), wantMax)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package stats
+
+// MergeHistogram folds src's buckets into dst. Bucket counts beyond
+// dst's range clamp into dst's last bucket.
+func MergeHistogram(dst, src *Histogram) {
+	for v, n := range src.buckets {
+		if n == 0 {
+			continue
+		}
+		i := v
+		if i >= len(dst.buckets) {
+			i = len(dst.buckets) - 1
+		}
+		dst.buckets[i] += n
+		dst.total += n
+	}
+}
+
+// MergeLatency folds src's samples into dst.
+func MergeLatency(dst, src *LatencyTracker) {
+	for i, n := range src.buckets {
+		dst.buckets[i] += n
+	}
+	dst.total += src.total
+	dst.sumNS += src.sumNS
+	if src.maxNS > dst.maxNS {
+		dst.maxNS = src.maxNS
+	}
+}
+
+// MergeIRLP folds src's recorded intervals into dst. Both must not yet
+// be finalized. Channels have independent ranks, so experiment-level
+// IRLP is reported per rank and averaged; this helper exists for tools
+// that want a combined sweep anyway.
+func MergeIRLP(dst, src *IRLP) {
+	if dst.finalized || src.finalized {
+		panic("stats: MergeIRLP after Finalize")
+	}
+	dst.deltas = append(dst.deltas, src.deltas...)
+}

@@ -1,0 +1,132 @@
+package system
+
+import (
+	"testing"
+
+	"pcmap/internal/config"
+)
+
+// TestDeterminism: two builds of the same configuration must produce
+// bit-identical results — the foundation of the reproduction claim.
+func TestDeterminism(t *testing.T) {
+	run := func() *Results {
+		cfg := config.Default().WithVariant(config.RWoWRDE)
+		s, err := Build(cfg, "MP6")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(10_000, 60_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.IPCSum != b.IPCSum {
+		t.Fatalf("IPC diverged: %v vs %v", a.IPCSum, b.IPCSum)
+	}
+	if a.IRLPAvg != b.IRLPAvg {
+		t.Fatalf("IRLP diverged: %v vs %v", a.IRLPAvg, b.IRLPAvg)
+	}
+	if a.Mem.Reads.Value() != b.Mem.Reads.Value() ||
+		a.Mem.Writes.Value() != b.Mem.Writes.Value() {
+		t.Fatal("request counts diverged")
+	}
+	if a.Mem.ReadLatency.MeanNS() != b.Mem.ReadLatency.MeanNS() {
+		t.Fatal("latencies diverged")
+	}
+}
+
+// TestSeedChangesResults: different seeds must explore different
+// stochastic paths (guards against a frozen RNG wiring bug).
+func TestSeedChangesResults(t *testing.T) {
+	run := func(seed uint64) float64 {
+		cfg := config.Default()
+		cfg.Seed = seed
+		s, err := Build(cfg, "MP4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(5_000, 40_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Mem.ReadLatency.MeanNS()
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds produced identical latency profiles")
+	}
+}
+
+// TestMultithreadedCoherenceTraffic: MT workloads share lines, so the
+// directory must see invalidations; MP mixes must see none (disjoint
+// address spaces).
+func TestMultithreadedCoherenceTraffic(t *testing.T) {
+	run := func(mix string) (uint64, uint64) {
+		s, err := Build(config.Default(), mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(5_000, 50_000); err != nil {
+			t.Fatal(err)
+		}
+		return s.Hier.Dir.Invalidations, s.Hier.Dir.Forwards
+	}
+	mtInv, _ := run("canneal")
+	if mtInv == 0 {
+		t.Fatal("multithreaded run produced no invalidations")
+	}
+	mpInv, _ := run("MP3")
+	if mpInv != 0 {
+		t.Fatalf("multiprogrammed run produced %d invalidations across disjoint spaces", mpInv)
+	}
+}
+
+// TestAllVariantsRunAllMixes is the wide smoke matrix at tiny budgets.
+func TestAllVariantsRunAllMixes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix smoke skipped in -short")
+	}
+	for _, mix := range []string{"canneal", "freqmine", "MP1", "MP4", "stream"} {
+		for _, v := range config.Variants {
+			s, err := Build(config.Default().WithVariant(v), mix)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mix, v, err)
+			}
+			r, err := s.Run(2_000, 15_000)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mix, v, err)
+			}
+			if r.IPCSum <= 0 {
+				t.Fatalf("%s/%s: no progress", mix, v)
+			}
+		}
+	}
+}
+
+// TestWearLevelingFullSystem: Start-Gap under a full workload keeps the
+// system live and reduces wear imbalance relative to no leveling on
+// the baseline (where fixed roles concentrate writes).
+func TestWearLevelingFullSystem(t *testing.T) {
+	run := func(psi uint64) (float64, uint64) {
+		cfg := config.Default() // baseline: no rotation, worst imbalance
+		cfg.Memory.WearLevelPsi = psi
+		s, err := Build(cfg, "MP4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(5_000, 60_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.WearCV, r.Mem.WearMoves.Value()
+	}
+	_, moves0 := run(0)
+	if moves0 != 0 {
+		t.Fatal("moves recorded with leveling off")
+	}
+	_, movesOn := run(50)
+	if movesOn == 0 {
+		t.Fatal("no gap moves with leveling on")
+	}
+}

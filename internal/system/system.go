@@ -1,0 +1,184 @@
+// Package system assembles the full simulated machine of Table I —
+// cores, cache hierarchy, NoC, directory, and PCM main memory — and
+// runs workload mixes on it with a warmup/measure protocol.
+package system
+
+import (
+	"fmt"
+
+	"pcmap/internal/cache"
+	"pcmap/internal/config"
+	"pcmap/internal/core"
+	"pcmap/internal/cpu"
+	"pcmap/internal/energy"
+	"pcmap/internal/mem"
+	"pcmap/internal/sim"
+	"pcmap/internal/workloads"
+)
+
+// System is one fully assembled machine.
+type System struct {
+	Eng   *sim.Engine
+	Cfg   *config.Config
+	Mem   *core.Memory
+	Hier  *cache.Hierarchy
+	Cores []*cpu.Core
+	Mix   workloads.Mix
+}
+
+// Build constructs a machine for cfg running the named workload mix.
+func Build(cfg *config.Config, mixName string) (*System, error) {
+	mix, ok := workloads.MixByName(mixName)
+	if !ok {
+		return nil, fmt.Errorf("system: unknown workload %q", mixName)
+	}
+	if len(mix.PerCore) != cfg.Cores {
+		return nil, fmt.Errorf("system: mix %s defines %d cores, config has %d",
+			mixName, len(mix.PerCore), cfg.Cores)
+	}
+	eng := sim.NewEngine()
+	memory, err := core.NewMemory(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	hier := cache.NewHierarchy(eng, cfg, memory)
+	s := &System{Eng: eng, Cfg: cfg, Mem: memory, Hier: hier, Mix: mix}
+
+	var shared *workloads.SharedRegion
+	if mix.Multithreaded {
+		shared = workloads.NewSharedRegion()
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0x5eedbeef00c0ffee)
+	var gens []*workloads.Generator
+	for i, pname := range mix.PerCore {
+		p := workloads.MustByName(pname)
+		gen := workloads.NewGenerator(p, i, rng.Fork(), shared)
+		gens = append(gens, gen)
+		s.Cores = append(s.Cores, cpu.NewCore(eng, cfg, i, hier, gen, rng.Fork()))
+	}
+	prewarm(hier, gens, shared)
+	return s, nil
+}
+
+// prewarm functionally installs the workloads' cache-resident reuse
+// pools (DESIGN.md: stands in for the paper's 200M-instruction warmup).
+func prewarm(hier *cache.Hierarchy, gens []*workloads.Generator, shared *workloads.SharedRegion) {
+	for _, g := range gens {
+		base, lines := g.LLCPoolRange()
+		for i := 0; i < lines; i++ {
+			hier.PrewarmLLC(base + uint64(i)*64)
+		}
+		base, lines = g.L2PoolRange()
+		for i := 0; i < lines; i++ {
+			hier.PrewarmL2(base + uint64(i)*64)
+		}
+	}
+	if shared != nil {
+		for i := uint64(0); i < shared.Lines; i++ {
+			hier.PrewarmLLC(shared.Base + i*64)
+		}
+	}
+}
+
+// Results carries everything the experiment harness reports for one run.
+type Results struct {
+	Workload string
+	Variant  config.Variant
+
+	IPCPerCore []float64
+	IPCSum     float64
+
+	Mem     *mem.Metrics
+	IRLPAvg float64
+	IRLPMax int
+	WearCV  float64
+
+	Instructions uint64
+	RPKI, WPKI   float64
+
+	Rollbacks, RoWVerifies uint64
+	MaxRollbackPct         float64 // rollbacks / RoW reads (Table IV's "% of max rollbacks")
+
+	L2MissRatio, LLCMissRatio float64
+
+	// Energy is the measured-phase PCM energy breakdown (rendered).
+	Energy string
+}
+
+// Run executes warmup instructions per core, resets statistics, then
+// runs measure instructions per core and collects results. It returns
+// an error if the simulation wedges (requests or cores stuck).
+func (s *System) Run(warmup, measure uint64) (*Results, error) {
+	if err := s.runPhase(warmup); err != nil {
+		return nil, fmt.Errorf("system: warmup: %w", err)
+	}
+	s.Mem.ResetMetrics()
+	var instr0 uint64
+	for _, c := range s.Cores {
+		c.ResetWindow()
+		instr0 += c.Instructions()
+	}
+	roll0, ver0 := s.rollbackCounts()
+	if err := s.continuePhase(measure); err != nil {
+		return nil, fmt.Errorf("system: measure: %w", err)
+	}
+
+	r := &Results{Workload: s.Mix.Name, Variant: s.Cfg.Variant}
+	for _, c := range s.Cores {
+		ipc := c.IPC()
+		r.IPCPerCore = append(r.IPCPerCore, ipc)
+		r.IPCSum += ipc
+		r.Instructions += c.Instructions()
+	}
+	r.Instructions -= instr0
+	r.Mem = s.Mem.Metrics()
+	r.IRLPAvg, r.IRLPMax = s.Mem.IRLP()
+	r.WearCV = s.Mem.WearImbalance()
+	if r.Instructions > 0 {
+		ki := float64(r.Instructions) / 1000
+		r.RPKI = float64(r.Mem.Reads.Value()) / ki
+		r.WPKI = float64(r.Mem.Writes.Value()) / ki
+	}
+	roll1, ver1 := s.rollbackCounts()
+	r.Rollbacks = roll1 - roll0
+	r.RoWVerifies = ver1 - ver0
+	if r.RoWVerifies > 0 {
+		r.MaxRollbackPct = float64(r.Rollbacks) / float64(r.RoWVerifies)
+	}
+	r.L2MissRatio = s.Hier.L2.MissRatio()
+	r.LLCMissRatio = s.Hier.LLC.MissRatio()
+	r.Energy = s.Mem.Energy(energy.Default()).String()
+	return r, nil
+}
+
+func (s *System) rollbackCounts() (rollbacks, verifies uint64) {
+	for _, c := range s.Cores {
+		rollbacks += c.Rollbacks
+		verifies += c.VerifiesSeen
+	}
+	return
+}
+
+func (s *System) runPhase(budget uint64) error {
+	remaining := len(s.Cores)
+	for _, c := range s.Cores {
+		c.Start(budget, func() { remaining-- })
+	}
+	s.Eng.Run()
+	if remaining != 0 {
+		return fmt.Errorf("%d cores wedged (deadlock?)", remaining)
+	}
+	return nil
+}
+
+func (s *System) continuePhase(extra uint64) error {
+	remaining := len(s.Cores)
+	for _, c := range s.Cores {
+		c.Continue(extra, func() { remaining-- })
+	}
+	s.Eng.Run()
+	if remaining != 0 {
+		return fmt.Errorf("%d cores wedged (deadlock?)", remaining)
+	}
+	return nil
+}

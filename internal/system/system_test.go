@@ -1,0 +1,51 @@
+package system
+
+import (
+	"testing"
+
+	"pcmap/internal/config"
+)
+
+func TestSmokeRunBaseline(t *testing.T) {
+	cfg := config.Default()
+	s, err := Build(cfg, "canneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run(20000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPCSum <= 0 {
+		t.Fatal("no progress")
+	}
+	if r.Mem.Reads.Value() == 0 || r.Mem.Writes.Value() == 0 {
+		t.Fatalf("no PCM traffic: reads=%d writes=%d", r.Mem.Reads.Value(), r.Mem.Writes.Value())
+	}
+	t.Logf("IPCsum=%.2f RPKI=%.2f WPKI=%.2f IRLP=%.2f readLat=%.0fns",
+		r.IPCSum, r.RPKI, r.WPKI, r.IRLPAvg, r.Mem.ReadLatency.MeanNS())
+}
+
+func TestSmokeRunPCMap(t *testing.T) {
+	cfg := config.Default().WithVariant(config.RWoWRDE)
+	s, err := Build(cfg, "MP4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run(20000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPCSum <= 0 {
+		t.Fatal("no progress")
+	}
+	t.Logf("IPCsum=%.2f RPKI=%.2f WPKI=%.2f IRLP=%.2f RoW=%d WoW=%d",
+		r.IPCSum, r.RPKI, r.WPKI, r.IRLPAvg,
+		r.Mem.RoWServed.Value(), r.Mem.WoWOverlapped.Value())
+}
+
+func TestUnknownMix(t *testing.T) {
+	if _, err := Build(config.Default(), "nope"); err == nil {
+		t.Fatal("unknown mix should error")
+	}
+}

@@ -1,0 +1,184 @@
+// Package trace records and replays PCM-level memory request streams.
+// A trace captures what the cache hierarchy emitted toward main memory
+// — reads and masked write-backs with timestamps — so controller
+// variants can be compared on identical request sequences (open-loop),
+// complementing the closed-loop full-system runs.
+//
+// The binary format is a 16-byte magic header followed by fixed
+// 24-byte little-endian records.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pcmap/internal/core"
+	"pcmap/internal/mem"
+	"pcmap/internal/sim"
+)
+
+// Record is one traced request.
+type Record struct {
+	At   sim.Time // arrival time
+	Addr uint64   // line-aligned physical address
+	Kind mem.Kind
+	Mask uint8 // essential-word mask (writes)
+	Core int8
+}
+
+var magic = [16]byte{'P', 'C', 'M', 'A', 'P', '-', 'T', 'R', 'A', 'C', 'E', '-', 'v', '1', 0, 0}
+
+const recordBytes = 24
+
+// Writer streams records to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	n     uint64
+	wrote bool
+}
+
+// NewWriter returns a trace writer (header written lazily).
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write appends one record.
+func (t *Writer) Write(r Record) error {
+	if !t.wrote {
+		if _, err := t.w.Write(magic[:]); err != nil {
+			return err
+		}
+		t.wrote = true
+	}
+	var buf [recordBytes]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(r.At))
+	binary.LittleEndian.PutUint64(buf[8:], r.Addr)
+	buf[16] = byte(r.Kind)
+	buf[17] = r.Mask
+	buf[18] = byte(r.Core)
+	if _, err := t.w.Write(buf[:]); err != nil {
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Count returns how many records were written.
+func (t *Writer) Count() uint64 { return t.n }
+
+// Flush flushes buffered records; call before closing the underlying
+// writer.
+func (t *Writer) Flush() error {
+	if !t.wrote {
+		if _, err := t.w.Write(magic[:]); err != nil {
+			return err
+		}
+		t.wrote = true
+	}
+	return t.w.Flush()
+}
+
+// Reader streams records from an io.Reader.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewReader returns a trace reader.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Read returns the next record; io.EOF at the end.
+func (t *Reader) Read() (Record, error) {
+	if !t.header {
+		var h [16]byte
+		if _, err := io.ReadFull(t.r, h[:]); err != nil {
+			return Record{}, fmt.Errorf("trace: reading header: %w", err)
+		}
+		if h != magic {
+			return Record{}, errors.New("trace: bad magic (not a PCMap trace)")
+		}
+		t.header = true
+	}
+	var buf [recordBytes]byte
+	if _, err := io.ReadFull(t.r, buf[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	return Record{
+		At:   sim.Time(binary.LittleEndian.Uint64(buf[0:])),
+		Addr: binary.LittleEndian.Uint64(buf[8:]),
+		Kind: mem.Kind(buf[16]),
+		Mask: buf[17],
+		Core: int8(buf[18]),
+	}, nil
+}
+
+// ReadAll drains the reader.
+func (t *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		r, err := t.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+}
+
+// Attach records every request submitted to memory into w. It returns
+// a detach function.
+func Attach(memory *core.Memory, w *Writer) (detach func()) {
+	prev := memory.OnSubmit
+	memory.OnSubmit = func(r *mem.Request) {
+		_ = w.Write(Record{At: memory.Eng.Now(), Addr: r.Addr, Kind: r.Kind, Mask: r.Mask, Core: int8(r.Core)})
+		if prev != nil {
+			prev(r)
+		}
+	}
+	return func() { memory.OnSubmit = prev }
+}
+
+// ReplayStats summarizes a replay.
+type ReplayStats struct {
+	Submitted uint64
+	Completed uint64
+	Deferred  uint64 // submissions delayed by a full queue
+}
+
+// Replay feeds records into memory at their recorded timestamps
+// (open-loop); full queues defer a record until space frees, shifting
+// it later in time. Run the engine to completion afterwards; stats are
+// final once the engine drains.
+func Replay(eng *sim.Engine, memory *core.Memory, records []Record) *ReplayStats {
+	st := &ReplayStats{}
+	base := eng.Now()
+	for i := range records {
+		rec := records[i]
+		req := &mem.Request{
+			Kind: rec.Kind,
+			Addr: rec.Addr,
+			Mask: rec.Mask,
+			Core: int(rec.Core),
+			OnDone: func(*mem.Request) {
+				st.Completed++
+			},
+		}
+		var submit func()
+		submit = func() {
+			if memory.Submit(req) {
+				st.Submitted++
+				return
+			}
+			st.Deferred++
+			memory.OnSpace(req.Kind, req.Addr, submit)
+		}
+		eng.At(base+rec.At, submit)
+	}
+	return st
+}

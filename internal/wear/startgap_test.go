@@ -1,0 +1,153 @@
+package wear
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapIsPermutation(t *testing.T) {
+	s, err := NewStartGap(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 300; round++ {
+		seen := map[uint64]bool{}
+		for l := uint64(0); l < 64; l++ {
+			p := s.Map(l)
+			if p > 64 {
+				t.Fatalf("mapping out of the 65-slot range: %d", p)
+			}
+			if seen[p] {
+				t.Fatalf("round %d: collision at physical %d", round, p)
+			}
+			seen[p] = true
+		}
+		// The gap slot must be exactly the one unused physical line.
+		_, gap := s.state()
+		if seen[gap] {
+			t.Fatalf("round %d: gap slot %d is mapped", round, gap)
+		}
+		s.OnWrite()
+	}
+}
+
+func TestGapWalksAndStartAdvances(t *testing.T) {
+	s, _ := NewStartGap(8, 1) // move gap on every write
+	start0, gap0 := s.state()
+	if start0 != 0 || gap0 != 8 {
+		t.Fatalf("initial state start=%d gap=%d", start0, gap0)
+	}
+	// 8 moves walk the gap to 0; the 9th wraps and bumps start.
+	for i := 0; i < 8; i++ {
+		_, _, moved := s.OnWrite()
+		if !moved {
+			t.Fatalf("move %d: expected a line copy", i)
+		}
+	}
+	if _, gap := s.state(); gap != 0 {
+		t.Fatalf("gap should be 0, is %d", gap)
+	}
+	from, to, moved := s.OnWrite()
+	if !moved || from != 8 || to != 0 {
+		t.Fatalf("wrap must copy slot N->0, got from=%d to=%d moved=%v", from, to, moved)
+	}
+	start, gap := s.state()
+	if start != 1 || gap != 8 {
+		t.Fatalf("after wrap: start=%d gap=%d, want 1,8", start, gap)
+	}
+}
+
+func TestMoveSemantics(t *testing.T) {
+	// Simulate actual data movement and verify the remap always finds
+	// the moved content: contents[physical] = logical id.
+	const n = 16
+	s, _ := NewStartGap(n, 2)
+	contents := make(map[uint64]uint64)
+	for l := uint64(0); l < n; l++ {
+		contents[s.Map(l)] = l
+	}
+	for w := 0; w < 500; w++ {
+		from, to, moved := s.OnWrite()
+		if moved {
+			contents[to] = contents[from]
+			delete(contents, from)
+		}
+		for l := uint64(0); l < n; l++ {
+			p := s.Map(l)
+			got, ok := contents[p]
+			if !ok || got != l {
+				t.Fatalf("write %d: logical %d maps to physical %d holding %d (ok=%v)", w, l, p, got, ok)
+			}
+		}
+	}
+}
+
+func TestEveryLineVisitsManySlots(t *testing.T) {
+	const n = 8
+	s, _ := NewStartGap(n, 1)
+	visited := make([]map[uint64]bool, n)
+	for i := range visited {
+		visited[i] = map[uint64]bool{}
+	}
+	// One full rotation takes n*(n+1) gap moves.
+	for w := 0; w < n*(n+1); w++ {
+		for l := uint64(0); l < n; l++ {
+			visited[l][s.Map(l)] = true
+		}
+		s.OnWrite()
+	}
+	for l, v := range visited {
+		if len(v) < n {
+			t.Fatalf("logical line %d visited only %d slots", l, len(v))
+		}
+	}
+}
+
+func TestOverheadMatchesPsi(t *testing.T) {
+	s, _ := NewStartGap(1024, 100)
+	for i := 0; i < 100_000; i++ {
+		s.OnWrite()
+	}
+	if ov := s.Overhead(); ov < 0.009 || ov > 0.011 {
+		t.Fatalf("overhead %.4f, want ~1/100", ov)
+	}
+}
+
+func TestOutOfRegionPassThrough(t *testing.T) {
+	s, _ := NewStartGap(32, 10)
+	if got := s.Map(100); got != 100 {
+		t.Fatalf("out-of-region line remapped to %d", got)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewStartGap(0, 10); err == nil {
+		t.Fatal("zero region must be rejected")
+	}
+	if _, err := NewStartGap(10, 0); err == nil {
+		t.Fatal("zero psi must be rejected")
+	}
+}
+
+func TestMapProperty(t *testing.T) {
+	// Property: after arbitrary write sequences, Map stays injective
+	// over the region.
+	if err := quick.Check(func(writes uint16, n8 uint8) bool {
+		n := uint64(n8%60) + 4
+		s, _ := NewStartGap(n, 3)
+		for i := 0; i < int(writes%2000); i++ {
+			s.OnWrite()
+		}
+		seen := map[uint64]bool{}
+		for l := uint64(0); l < n; l++ {
+			p := s.Map(l)
+			if p > n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
