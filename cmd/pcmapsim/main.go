@@ -23,20 +23,36 @@ import (
 
 func main() {
 	var (
-		expName  = flag.String("exp", "headline", "experiment: fig1,fig2,fig8,fig9,fig10,fig11,table2,table3,table4,headline,all,adhoc")
-		warmup   = flag.Uint64("warmup", 40_000, "warmup instructions per core")
-		measure  = flag.Uint64("measure", 400_000, "measured instructions per core")
-		avgmt    = flag.Bool("avgmt", false, "include the full 13-program PARSEC Average(MT) sweep")
-		format   = flag.String("format", "md", "output format: md or csv")
-		jsonPath = flag.String("json", "", "also write raw series as JSON to this file")
-		par      = flag.Int("par", 0, "parallel simulations (0 = NumCPU)")
-		verbose  = flag.Bool("v", false, "print per-run progress")
-		workload = flag.String("workload", "MP4", "adhoc: workload mix")
-		variant  = flag.String("variant", "RWoW-RDE", "adhoc: system variant")
-		ratio    = flag.Float64("ratio", 0, "adhoc: write-to-read latency ratio override (0 = default 2x)")
-		pausing  = flag.Bool("pausing", false, "adhoc: enable the write-pausing comparator (baseline only)")
+		expName   = flag.String("exp", "headline", "experiment: fig1,fig2,fig8,fig9,fig10,fig11,table2,table3,table4,headline,reliability,all,adhoc")
+		warmup    = flag.Uint64("warmup", 40_000, "warmup instructions per core")
+		measure   = flag.Uint64("measure", 400_000, "measured instructions per core")
+		avgmt     = flag.Bool("avgmt", false, "include the full 13-program PARSEC Average(MT) sweep")
+		format    = flag.String("format", "md", "output format: md or csv")
+		jsonPath  = flag.String("json", "", "also write raw series as JSON to this file")
+		par       = flag.Int("par", 0, "parallel simulations (0 = NumCPU)")
+		verbose   = flag.Bool("v", false, "print per-run progress")
+		workload  = flag.String("workload", "MP4", "adhoc/reliability: workload mix")
+		variant   = flag.String("variant", "RWoW-RDE", "adhoc/reliability: system variant")
+		ratio     = flag.Float64("ratio", 0, "adhoc: write-to-read latency ratio override (0 = default 2x)")
+		pausing   = flag.Bool("pausing", false, "adhoc: enable the write-pausing comparator (baseline only)")
+		endurance = flag.Uint64("endurance", 0, "adhoc: write-endurance budget before cells stick (0 = perfect cells)")
+		drift     = flag.Float64("drift", 0, "adhoc: per-read drift bit-flip probability")
+		verify    = flag.Bool("verify", false, "adhoc: enable the program-and-verify write path")
 	)
 	flag.Parse()
+
+	if *format != "md" && *format != "csv" {
+		fatal(fmt.Errorf("invalid -format %q (want md or csv)", *format))
+	}
+	if *measure == 0 {
+		fatal(fmt.Errorf("invalid -measure 0 (need a measured instruction budget)"))
+	}
+	if *ratio < 0 {
+		fatal(fmt.Errorf("invalid -ratio %g (must be >= 0)", *ratio))
+	}
+	if *drift < 0 || *drift >= 1 {
+		fatal(fmt.Errorf("invalid -drift %g (must be in [0,1))", *drift))
+	}
 
 	r := exp.NewRunner()
 	r.Warmup, r.Measure, r.Parallelism = *warmup, *measure, *par
@@ -45,7 +61,10 @@ func main() {
 	}
 
 	if *expName == "adhoc" {
-		if err := runAdhoc(r, *workload, *variant, *ratio, *pausing); err != nil {
+		if err := runAdhoc(r, adhocOpts{
+			workload: *workload, variant: *variant, ratio: *ratio, pausing: *pausing,
+			endurance: *endurance, drift: *drift, verify: *verify,
+		}); err != nil {
 			fatal(err)
 		}
 		return
@@ -65,8 +84,15 @@ func main() {
 		"headline":  func() (*exp.FigureResult, error) { return exp.Headline(r, *avgmt) },
 		"pausing":   func() (*exp.FigureResult, error) { return exp.Pausing(r) },
 		"ablations": func() (*exp.FigureResult, error) { return exp.Ablations(r) },
+		"reliability": func() (*exp.FigureResult, error) {
+			v, err := lookupVariant(*variant)
+			if err != nil {
+				return nil, err
+			}
+			return exp.Reliability(r, *workload, v)
+		},
 	}
-	order := []string{"fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "table2", "table3", "table4", "headline", "pausing", "ablations"}
+	order := []string{"fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "table2", "table3", "table4", "headline", "pausing", "ablations", "reliability"}
 
 	var names []string
 	if *expName == "all" {
@@ -110,18 +136,37 @@ func main() {
 	}
 }
 
-func runAdhoc(r *exp.Runner, workload, variantName string, ratio float64, pausing bool) error {
-	var variant config.Variant
-	found := false
+// lookupVariant resolves a -variant flag value, with a clear error
+// listing the valid names.
+func lookupVariant(name string) (config.Variant, error) {
+	var names []string
 	for _, v := range config.Variants {
-		if v.String() == variantName {
-			variant, found = v, true
+		if v.String() == name {
+			return v, nil
 		}
+		names = append(names, v.String())
 	}
-	if !found {
-		return fmt.Errorf("unknown variant %q", variantName)
+	return 0, fmt.Errorf("unknown variant %q (want one of %s)", name, strings.Join(names, ", "))
+}
+
+// adhocOpts bundles the adhoc run's flag values.
+type adhocOpts struct {
+	workload, variant string
+	ratio             float64
+	pausing           bool
+	endurance         uint64
+	drift             float64
+	verify            bool
+}
+
+func runAdhoc(r *exp.Runner, o adhocOpts) error {
+	variant, err := lookupVariant(o.variant)
+	if err != nil {
+		return err
 	}
-	res, err := r.Run(exp.Spec{Workload: workload, Variant: variant, WriteToReadRatio: ratio, WritePausing: pausing})
+	res, err := r.Run(exp.Spec{Workload: o.workload, Variant: variant,
+		WriteToReadRatio: o.ratio, WritePausing: o.pausing,
+		EnduranceBudget: o.endurance, DriftProb: o.drift, VerifyWrites: o.verify})
 	if err != nil {
 		return err
 	}
@@ -141,6 +186,19 @@ func runAdhoc(r *exp.Runner, workload, variantName string, ratio float64, pausin
 	fmt.Printf("rollbacks         %d\n", res.Rollbacks)
 	fmt.Printf("wear imbalance    %.3f (CV of per-chip writes)\n", res.WearCV)
 	fmt.Printf("write pauses      %d\n", res.Mem.WritePauses.Value())
+	if o.endurance > 0 || o.drift > 0 || o.verify {
+		fmt.Printf("injected faults   %d stuck-at, %d drift flips\n", res.InjectedStuck, res.InjectedDrift)
+		fmt.Printf("read corrections  SECDED %d (check-only %d), PCC rebuilt %d, uncorrectable %d\n",
+			res.Mem.SECDEDCorrected.Value(), res.Mem.SECDEDCheckFixed.Value(),
+			res.Mem.PCCRecovered.Value(), res.Mem.UncorrectedReads.Value())
+		fmt.Printf("verify path       %d verified, %d read-backs, %d retries, %d remaps (%d failed)\n",
+			res.Mem.WriteVerifies.Value(), res.Mem.VerifyReads.Value(),
+			res.Mem.WriteRetries.Value(), res.Mem.WriteRemaps.Value(), res.Mem.RemapFailures.Value())
+		if res.Mem.WriteVerifies.Value() > 0 {
+			fmt.Printf("verify overhead   %.1f ns/write (p95 %.1f ns)\n",
+				res.Mem.VerifyLatency.MeanNS(), res.Mem.VerifyLatency.PercentileNS(95))
+		}
+	}
 	fmt.Printf("energy            %s\n", res.Energy)
 	return nil
 }

@@ -200,6 +200,32 @@ type Memory struct {
 	// "always" (every RoW verification fails), "never" (verification
 	// always succeeds).
 	FaultMode string
+
+	// EnduranceBudget enables endurance wearout injection when non-zero:
+	// once a stored 64-bit word has been programmed more than this many
+	// times, each further programming operation permanently sticks one
+	// additional cell of that word (see internal/pcm.FaultModel). Zero
+	// means perfect cells.
+	EnduranceBudget uint64
+	// DriftProb is the per-read probability that resistance drift flips
+	// one stored bit of the accessed line. The flip corrupts stored
+	// bytes and persists until reprogrammed. Zero disables drift.
+	DriftProb float64
+	// VerifyWrites enables the program-and-verify write path: after
+	// programming, the controller reads the target words back, retries
+	// mismatched words up to WriteRetryLimit times, and remaps lines
+	// whose cells no longer program to the spare-line pool. Off by
+	// default; when off, the write path is bit-identical to a
+	// controller without the verify machinery.
+	VerifyWrites bool
+	// WriteRetryLimit bounds the re-program attempts of the verify path
+	// before the line is remapped to a spare.
+	WriteRetryLimit int
+	// SpareLines is the per-channel spare-line pool available for
+	// remapping worn-out lines. When exhausted, failed writes complete
+	// degraded (reads rely on SECDED/PCC) and a metric counts the
+	// shortfall.
+	SpareLines int
 }
 
 // LineBytes is the cache-line/transfer granularity (64 B everywhere).
@@ -257,6 +283,8 @@ func Default() *Config {
 			PowerSlots:          8,
 			MaxConcurrentWrites: 2,
 			WritePauseSegments:  4,
+			WriteRetryLimit:     3,
+			SpareLines:          64,
 			Timing: PCMTiming{
 				ArrayRead:      sim.NS(60),
 				WriteArrayRead: sim.NS(60),
@@ -319,6 +347,16 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: L2 and DRAM LLC line size must be %d bytes", LineBytes)
 	case c.NoC.Rows*c.NoC.Cols < c.Cores:
 		return fmt.Errorf("config: NoC %dx%d too small for %d cores", c.NoC.Rows, c.NoC.Cols, c.Cores)
+	case c.Memory.DriftProb < 0 || c.Memory.DriftProb >= 1:
+		return fmt.Errorf("config: DriftProb %g must lie in [0,1)", c.Memory.DriftProb)
+	case c.Memory.BitErrorRate < 0 || c.Memory.BitErrorRate >= 1:
+		return fmt.Errorf("config: BitErrorRate %g must lie in [0,1)", c.Memory.BitErrorRate)
+	case c.Memory.WriteRetryLimit < 0:
+		return fmt.Errorf("config: WriteRetryLimit must be non-negative, got %d", c.Memory.WriteRetryLimit)
+	case c.Memory.SpareLines < 0:
+		return fmt.Errorf("config: SpareLines must be non-negative, got %d", c.Memory.SpareLines)
+	case c.Memory.FaultMode != "" && c.Memory.FaultMode != "always" && c.Memory.FaultMode != "never":
+		return fmt.Errorf("config: FaultMode %q must be \"\", \"always\" or \"never\"", c.Memory.FaultMode)
 	}
 	for _, lvl := range []struct {
 		name string

@@ -14,6 +14,7 @@ import (
 	"pcmap/internal/dimm"
 	"pcmap/internal/ecc"
 	"pcmap/internal/mem"
+	"pcmap/internal/pcm"
 	"pcmap/internal/sim"
 	"pcmap/internal/wear"
 )
@@ -48,6 +49,13 @@ type Controller struct {
 	// internal/wear).
 	sg *wear.StartGap
 
+	// remap redirects worn-out physical lines to spare-pool slots
+	// (allocated by the program-and-verify path when retries exhaust).
+	// Nil until the first remap, so healthy runs pay nothing.
+	remap map[uint64]uint64
+	// spareNext is the next unallocated slot of the spare-line pool.
+	spareNext int
+
 	kicked       bool
 	readWaiters  []func()
 	writeWaiters []func()
@@ -59,12 +67,20 @@ type Controller struct {
 }
 
 // activeWrite tracks a write in service for scheduling decisions and
-// the Figure 1 delayed-read accounting.
+// the Figure 1 delayed-read accounting. The verify fields carry the
+// program-and-verify state when cfg.VerifyWrites is on; they stay zero
+// otherwise.
 type activeWrite struct {
 	req      *mem.Request
 	bank     int
 	essCount int
 	end      sim.Time
+
+	coord    mem.Coord             // decoded target (post wear-level and remap)
+	intended *[ecc.LineBytes]byte  // content the write meant to store
+	mask     uint8                 // the write's word mask
+	attempts int                   // re-program attempts so far
+	progEnd  sim.Time              // when programming finished (verify overhead baseline)
 }
 
 // NewController builds a controller for one channel.
@@ -85,6 +101,14 @@ func NewController(eng *sim.Engine, cfgAll *config.Config, channel int, amap *me
 		Metrics: mem.NewMetrics(),
 	}
 	c.dataBus.Turnaround = sim.Time(m.Timing.TWTR) * sim.MemCycle
+	if fc := (pcm.FaultConfig{EnduranceBudget: m.EnduranceBudget, DriftProb: m.DriftProb}); fc.Enabled() {
+		// The fault model owns a private randomness stream derived from
+		// the seed and channel only, so enabling injection never
+		// perturbs the controller's own RNG (and disabling it keeps
+		// fault-free runs bit-identical).
+		c.rank.Store.Faults = pcm.NewFaultModel(fc,
+			sim.NewRNG(cfgAll.Seed^0xfa017c3d9e3b55aa^(uint64(channel)+1)*0x9e3779b97f4a7c15))
+	}
 	if m.WearLevelPsi > 0 {
 		sg, err := wear.NewStartGap(amap.LinesPerChannel(), m.WearLevelPsi)
 		if err != nil {
@@ -96,18 +120,33 @@ func NewController(eng *sim.Engine, cfgAll *config.Config, channel int, amap *me
 }
 
 // decode resolves an address to (possibly wear-level-remapped)
-// physical coordinates. All controller paths must use this instead of
-// the raw address map so remapping stays consistent.
+// physical coordinates, then follows any spare-pool remaps installed
+// by the program-and-verify path. All controller paths must use this
+// instead of the raw address map so remapping stays consistent.
 func (c *Controller) decode(addr uint64) mem.Coord {
 	coord := c.amap.Decode(addr)
-	if c.sg == nil {
-		return coord
+	if c.sg != nil {
+		if phys := c.sg.Map(coord.LineIdx); phys != coord.LineIdx {
+			coord = c.amap.CoordFromLineIdx(c.channel, phys)
+		}
 	}
-	phys := c.sg.Map(coord.LineIdx)
-	if phys == coord.LineIdx {
-		return coord
+	if c.remap != nil {
+		phys, moved := coord.LineIdx, false
+		for {
+			next, ok := c.remap[phys]
+			if !ok {
+				break
+			}
+			phys, moved = next, true
+		}
+		if moved {
+			// Spare slots live past the channel's line range; the
+			// coordinate fold (row modulo) places them physically while
+			// the unique index keys the functional store.
+			coord = c.amap.CoordFromLineIdx(c.channel, phys)
+		}
 	}
-	return c.amap.CoordFromLineIdx(c.channel, phys)
+	return coord
 }
 
 // wearTick advances the Start-Gap state on each serviced write,

@@ -128,6 +128,21 @@ func (m *Memory) Energy(model energy.Model) energy.Breakdown {
 	return total
 }
 
+// FaultCounts reports the total stuck-at cells and drift flips the
+// fault model has injected across all channels (zero when fault
+// injection is disabled). Experiments cross-check these against the
+// read/verify paths' correction counters: every injected error must be
+// corrected, retried away, or reported — never silently returned.
+func (m *Memory) FaultCounts() (stuck, drift uint64) {
+	for _, c := range m.Ctrls {
+		if f := c.rank.Store.Faults; f != nil {
+			stuck += f.InjectedStuck
+			drift += f.InjectedDrift
+		}
+	}
+	return
+}
+
 // WearImbalance reports the coefficient of variation of per-chip word
 // writes across all ranks — rotation should drive it toward zero
 // (Section IV-C2's lifetime argument).

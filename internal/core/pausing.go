@@ -34,7 +34,7 @@ func (c *Controller) issuePausingWrite(r *mem.Request) {
 	r.Started = true
 	r.Issue = now
 	coord := c.decode(r.Addr)
-	essMask, res := c.applyWrite(r, coord.LineIdx)
+	essMask, res, intended := c.applyWrite(r, coord.LineIdx)
 	essCount := bits.OnesCount8(essMask)
 	c.Metrics.DirtyWords.Add(essCount)
 	if essCount == 0 {
@@ -63,7 +63,8 @@ func (c *Controller) issuePausingWrite(r *mem.Request) {
 	}
 
 	c.powerInUse = c.cfg.PowerSlots
-	aw := &activeWrite{req: r, bank: coord.Bank, essCount: essCount}
+	aw := &activeWrite{req: r, bank: coord.Bank, essCount: essCount,
+		coord: coord, intended: intended, mask: r.Mask}
 	c.active = append(c.active, aw)
 
 	pw := &pausedWrite{
@@ -123,7 +124,7 @@ func (c *Controller) segmentDone(pw *pausedWrite) {
 	pw.inFlight = false
 	if pw.remaining <= 0 {
 		c.paused = nil
-		c.completeWrite(pw.req, pw.aw)
+		c.maybeVerifyWrite(pw.req, pw.aw)
 		return
 	}
 	c.Metrics.WritePauses.Inc()

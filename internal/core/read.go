@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"pcmap/internal/ecc"
 	"pcmap/internal/mem"
@@ -157,14 +159,16 @@ func (c *Controller) issueRead(r *mem.Request, p readPlan) {
 		c.Metrics.IRLP.AddChipService(now, done)
 	}
 
-	// Functional data path.
+	// Functional data path. Drift is sampled at the instant the arrays
+	// are sensed, so the same read that triggers a flip also observes it.
+	c.rank.Store.InjectDrift(p.coord.LineIdx)
 	c.rank.Store.ReadLine(p.coord.LineIdx, &r.ReadData)
 	var verifyAt sim.Time
 	if p.busyChip >= 0 {
 		r.Reconstructed = true
 		c.Metrics.RoWServed.Inc()
 		got, match := c.rank.Store.ReconstructWord(p.coord.LineIdx, p.missingWord)
-		if !match && c.AssertContent && c.cfg.BitErrorRate == 0 {
+		if !match && c.AssertContent && c.cfg.BitErrorRate == 0 && c.rank.Store.Faults == nil {
 			panic(fmt.Sprintf("core: PCC reconstruction mismatch line %#x word %d", p.coord.LineIdx, p.missingWord))
 		}
 		ecc.SetWord(&r.ReadData, p.missingWord, got)
@@ -177,8 +181,72 @@ func (c *Controller) issueRead(r *mem.Request, p readPlan) {
 		}
 		verifyAt += sim.Time(timing.TCL+timing.TBurst) * sim.MemCycle
 	}
+	c.decodeRead(r, p.coord.LineIdx)
 
 	c.eng.At(done, func() { c.completeRead(r, p, verifyAt) })
+}
+
+// decodeRead is the SECDED decode every serviced read passes through:
+// each returned word is checked against its stored check byte,
+// single-bit data errors are corrected in place, and double-bit words
+// fall back to PCC reconstruction from the (already corrected) sibling
+// words. A reconstruction is accepted only when it re-checks clean
+// against the word's SECDED code; anything else is reported as a typed
+// uncorrectable error on the request — never silently returned. On a
+// fault-free store every word checks OK and the request is untouched.
+func (c *Controller) decodeRead(r *mem.Request, lineIdx uint64) {
+	l := c.rank.Store.Peek(lineIdx)
+	var doubleMask uint8
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		word := ecc.Word(&r.ReadData, w)
+		fixed, st := ecc.Check64(word, l.ECC[w])
+		switch st {
+		case ecc.OK:
+		case ecc.CorrectedData:
+			ecc.SetWord(&r.ReadData, w, fixed)
+			c.Metrics.SECDEDCorrected.Inc()
+		case ecc.CorrectedCheck:
+			c.Metrics.SECDEDCheckFixed.Inc()
+		case ecc.DetectedDouble:
+			doubleMask |= 1 << uint(w)
+		}
+	}
+	if doubleMask == 0 {
+		return
+	}
+	failMask := doubleMask
+	if doubleMask&(doubleMask-1) == 0 {
+		// PCC is a single-erasure code: reconstruction is sound only
+		// when exactly one word is lost. With two or more double-error
+		// words each rebuild would use another corrupt word, so those
+		// lines go straight to the uncorrectable report.
+		w := bits.TrailingZeros8(doubleMask)
+		recon := ecc.ReconstructWord(&r.ReadData, w, l.PCC)
+		if fixed, st := ecc.Check64(recon, l.ECC[w]); st == ecc.OK {
+			ecc.SetWord(&r.ReadData, w, fixed)
+			c.Metrics.PCCRecovered.Inc()
+			failMask = 0
+		}
+	}
+	if failMask != 0 {
+		r.Err = &mem.UncorrectableError{Addr: r.Addr, LineIdx: lineIdx, WordMask: failMask}
+		c.Metrics.UncorrectedReads.Inc()
+		return
+	}
+	// Line-level parity audit: the XOR of the (corrected) data words
+	// must equal the stored PCC word. SECDED silently miscorrects >=3-bit
+	// errors (it aliases them onto a valid single-bit syndrome), and this
+	// is the only check that catches those; a mismatch with no word left
+	// in failMask is reported as a line-level detected-uncorrectable
+	// (WordMask zero: the faulty word cannot be localized).
+	var x uint64
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		x ^= ecc.Word(&r.ReadData, w)
+	}
+	if x != binary.LittleEndian.Uint64(l.PCC[:]) {
+		r.Err = &mem.UncorrectableError{Addr: r.Addr, LineIdx: lineIdx}
+		c.Metrics.UncorrectedReads.Inc()
+	}
 }
 
 func (c *Controller) completeRead(r *mem.Request, p readPlan, verifyAt sim.Time) {

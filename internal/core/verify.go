@@ -1,0 +1,188 @@
+package core
+
+import (
+	"pcmap/internal/dimm"
+	"pcmap/internal/ecc"
+	"pcmap/internal/mem"
+	"pcmap/internal/pcm"
+	"pcmap/internal/sim"
+)
+
+// maybeVerifyWrite is the completion hook of every non-silent write when
+// program-and-verify is enabled: instead of finishing immediately, the
+// controller reads the just-programmed words back, compares them against
+// the intended content, and re-programs (bounded by WriteRetryLimit) or
+// remaps the line to the spare pool when cells refuse to hold their
+// value. With VerifyWrites off the write completes directly, so the
+// baseline timing is untouched.
+func (c *Controller) maybeVerifyWrite(r *mem.Request, aw *activeWrite) {
+	if !c.cfg.VerifyWrites || aw.intended == nil || aw.mask == 0 || aw.essCount == 0 {
+		c.completeWrite(r, aw)
+		return
+	}
+	aw.progEnd = c.eng.Now()
+	c.Metrics.WriteVerifies.Inc()
+	c.scheduleVerifyRead(r, aw)
+}
+
+// scheduleVerifyRead charges one read-back of the write's masked words
+// (plus the ECC word) on the chips that hold them and schedules the
+// comparison at its completion.
+func (c *Controller) scheduleVerifyRead(r *mem.Request, aw *activeWrite) {
+	c.Metrics.VerifyReads.Inc()
+	now := c.eng.Now()
+	timing := c.cfg.Timing
+	// The read-back senses the array and streams through the chip I/O;
+	// rows were just opened by the write, but the array sense is charged
+	// anyway (program pulses disturb the row buffer).
+	dur := timing.ArrayRead + sim.Time(timing.TCL+timing.TBurst)*sim.MemCycle
+	l := c.rank.Layout
+	end := now
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		if aw.mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		chip := l.DataChip(aw.coord.RotIdx, w)
+		_, e := c.reserveChip(chip, aw.coord.Bank, now, dur)
+		if e > end {
+			end = e
+		}
+	}
+	if _, e := c.reserveChip(l.ECCChip(aw.coord.RotIdx), aw.coord.Bank, now, dur); e > end {
+		end = e
+	}
+	c.eng.At(end, func() { c.checkVerify(r, aw) })
+}
+
+// checkVerify compares the read-back against the intended content and
+// decides: done, retry, or remap.
+func (c *Controller) checkVerify(r *mem.Request, aw *activeWrite) {
+	// The read-back senses the array like any read, so it can itself
+	// observe (and, for masked words, catch) a drift flip.
+	c.rank.Store.InjectDrift(aw.coord.LineIdx)
+	bad := c.verifyMismatch(aw)
+	if bad == 0 {
+		c.Metrics.VerifyLatency.Add(c.eng.Now() - aw.progEnd)
+		c.completeWrite(r, aw)
+		return
+	}
+	if aw.attempts >= c.cfg.WriteRetryLimit {
+		c.remapLine(r, aw)
+		return
+	}
+	aw.attempts++
+	c.Metrics.WriteRetries.Inc()
+	c.reprogram(r, aw, bad)
+}
+
+// verifyMismatch reads the stored words of the write's mask back and
+// returns the mask of words whose cells (data or ECC check byte)
+// disagree with the intent.
+func (c *Controller) verifyMismatch(aw *activeWrite) uint8 {
+	l := c.rank.Store.Peek(aw.coord.LineIdx)
+	var bad uint8
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		if aw.mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		want := ecc.Word(aw.intended, w)
+		if ecc.Word(&l.Data, w) != want || l.ECC[w] != ecc.Encode64(want) {
+			bad |= 1 << uint(w)
+		}
+	}
+	return bad
+}
+
+// reprogram re-applies the intended content to the words that failed
+// verification, charging the differential write on their chips, and
+// schedules another verify read-back.
+func (c *Controller) reprogram(r *mem.Request, aw *activeWrite, bad uint8) {
+	res := c.rank.Store.WriteWords(aw.coord.LineIdx, bad, aw.intended)
+	now := c.eng.Now()
+	timing := c.cfg.Timing
+	l := c.rank.Layout
+	end := now
+	reserve := func(chip int, f pcm.FlipKind) {
+		ch := c.rank.Chips[chip]
+		act := sim.Time(0)
+		if !ch.RowHit(aw.coord.Bank, aw.coord.Row) {
+			act = timing.WriteArrayRead
+		}
+		prog := timing.WriteLatency(f.Sets > 0, f.Resets > 0)
+		_, e := ch.ReserveProgram(aw.coord.Bank, now, act, prog)
+		ch.OpenRowIn(aw.coord.Bank, aw.coord.Row)
+		if f.Any() {
+			ch.CountWrite(f)
+		}
+		if e > end {
+			end = e
+		}
+	}
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		if bad&(1<<uint(w)) != 0 {
+			reserve(l.DataChip(aw.coord.RotIdx, w), res.PerWord[w])
+		}
+	}
+	if res.ECCFlips.Any() {
+		reserve(l.ECCChip(aw.coord.RotIdx), res.ECCFlips)
+	}
+	if res.PCCFlips.Any() {
+		reserve(l.PCCChip(aw.coord.RotIdx), res.PCCFlips)
+	}
+	c.eng.At(end, func() { c.scheduleVerifyRead(r, aw) })
+}
+
+// remapLine retires a line whose cells failed every re-program attempt:
+// the best-known content (stored words SECDED-corrected where possible,
+// overlaid with the write's intended words) moves to a fresh spare-pool
+// line and all future decodes of the worn line follow the redirect. When
+// the pool is exhausted the write completes with the corruption left in
+// place — the read path's decode will report it rather than hide it.
+func (c *Controller) remapLine(r *mem.Request, aw *activeWrite) {
+	if c.spareNext >= c.cfg.SpareLines {
+		c.Metrics.RemapFailures.Inc()
+		c.Metrics.VerifyLatency.Add(c.eng.Now() - aw.progEnd)
+		c.completeWrite(r, aw)
+		return
+	}
+	spare := c.amap.LinesPerChannel() + uint64(c.spareNext)
+	c.spareNext++
+
+	old := c.rank.Store.Peek(aw.coord.LineIdx)
+	var buf [ecc.LineBytes]byte
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		word := ecc.Word(&old.Data, w)
+		if fixed, st := ecc.Check64(word, old.ECC[w]); st == ecc.CorrectedData {
+			word = fixed
+		}
+		ecc.SetWord(&buf, w, word)
+	}
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		if aw.mask&(1<<uint(w)) != 0 {
+			ecc.SetWord(&buf, w, ecc.Word(aw.intended, w))
+		}
+	}
+	c.rank.Store.WriteWords(spare, 0xff, &buf)
+	if c.remap == nil {
+		c.remap = make(map[uint64]uint64)
+	}
+	c.remap[aw.coord.LineIdx] = spare
+	c.Metrics.WriteRemaps.Inc()
+
+	// The spare slot folds onto a physical row (see decode); charge a
+	// full-line write there, mirroring the Start-Gap line copy.
+	coord := c.amap.CoordFromLineIdx(c.channel, spare)
+	now := c.eng.Now()
+	end := now
+	for i := 0; i < dimm.Slots; i++ {
+		_, e := c.rank.Chips[i].ReserveProgram(coord.Bank, now,
+			c.cfg.Timing.WriteArrayRead, c.cfg.Timing.CellSET)
+		if e > end {
+			end = e
+		}
+	}
+	c.eng.At(end, func() {
+		c.Metrics.VerifyLatency.Add(c.eng.Now() - aw.progEnd)
+		c.completeWrite(r, aw)
+	})
+}

@@ -97,9 +97,11 @@ func (c *Controller) fineWriteReady(r *mem.Request) bool {
 }
 
 // applyWrite applies the request's content to the functional store and
-// returns the essential-word mask (words whose bits actually flip) and
-// the per-chip transition analysis.
-func (c *Controller) applyWrite(r *mem.Request, lineIdx uint64) (uint8, pcm.WriteResult) {
+// returns the essential-word mask (words whose bits actually flip), the
+// per-chip transition analysis, and the intended line content (what the
+// cells should hold afterwards — the verify read-back compares against
+// it).
+func (c *Controller) applyWrite(r *mem.Request, lineIdx uint64) (uint8, pcm.WriteResult, *[ecc.LineBytes]byte) {
 	data := r.Data
 	if data == nil {
 		data = c.synthesizeWriteData(lineIdx, r.Mask)
@@ -111,7 +113,7 @@ func (c *Controller) applyWrite(r *mem.Request, lineIdx uint64) (uint8, pcm.Writ
 			essMask |= 1 << uint(w)
 		}
 	}
-	return essMask, res
+	return essMask, res, data
 }
 
 func (c *Controller) issueCoarseWrite(r *mem.Request) {
@@ -119,7 +121,7 @@ func (c *Controller) issueCoarseWrite(r *mem.Request) {
 	r.Started = true
 	r.Issue = now
 	coord := c.decode(r.Addr)
-	essMask, res := c.applyWrite(r, coord.LineIdx)
+	essMask, res, intended := c.applyWrite(r, coord.LineIdx)
 	essCount := bits.OnesCount8(essMask)
 	c.Metrics.DirtyWords.Add(essCount)
 	if essCount == 0 {
@@ -167,7 +169,8 @@ func (c *Controller) issueCoarseWrite(r *mem.Request) {
 	}
 
 	c.powerInUse = c.cfg.PowerSlots
-	aw := &activeWrite{req: r, bank: coord.Bank, essCount: essCount, end: end}
+	aw := &activeWrite{req: r, bank: coord.Bank, essCount: essCount, end: end,
+		coord: coord, intended: intended, mask: r.Mask}
 	c.active = append(c.active, aw)
 
 	// IRLP: window covers the write's occupancy; only the chips doing
@@ -182,7 +185,7 @@ func (c *Controller) issueCoarseWrite(r *mem.Request) {
 		}
 	}
 
-	c.eng.At(end, func() { c.completeWrite(r, aw) })
+	c.eng.At(end, func() { c.maybeVerifyWrite(r, aw) })
 }
 
 // fineJob describes one chip-word programming job of a fine write.
@@ -196,7 +199,7 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 	r.Started = true
 	r.Issue = now
 	coord := c.decode(r.Addr)
-	essMask, res := c.applyWrite(r, coord.LineIdx)
+	essMask, res, intended := c.applyWrite(r, coord.LineIdx)
 	essCount := bits.OnesCount8(essMask)
 	c.Metrics.DirtyWords.Add(essCount)
 	c.wearTick()
@@ -327,11 +330,12 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 
 	c.Metrics.IRLP.AddWriteWindow(t0, end)
 
-	aw := &activeWrite{req: r, bank: coord.Bank, essCount: essCount, end: end}
+	aw := &activeWrite{req: r, bank: coord.Bank, essCount: essCount, end: end,
+		coord: coord, intended: intended, mask: r.Mask}
 	c.active = append(c.active, aw)
 	c.eng.At(end, func() {
 		c.powerInUse -= power
-		c.completeWrite(r, aw)
+		c.maybeVerifyWrite(r, aw)
 	})
 }
 

@@ -1,0 +1,70 @@
+package ecc
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzSECDEDRoundTrip drives Check64 with 0, 1 or 2 bit errors injected
+// into an encoded (data, check) pair at fuzzer-chosen positions and
+// asserts the SECDED contract: clean words check OK, any single-bit
+// error (data or check, including the overall parity bit) is corrected
+// with the original data recovered, and any double-bit error is
+// detected — never miscorrected into a different word that passes.
+func FuzzSECDEDRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint8(0))
+	f.Add(uint64(0xdeadbeefcafef00d), uint8(1), uint8(0))
+	f.Add(^uint64(0), uint8(71), uint8(72))
+	f.Add(uint64(0x8000000000000001), uint8(64), uint8(70))
+	f.Fuzz(func(t *testing.T, data uint64, posA, posB uint8) {
+		check := Encode64(data)
+
+		// flip applies one bit error: positions 0-63 hit the data word,
+		// 64-71 hit the stored check byte.
+		flip := func(d uint64, c uint8, pos uint8) (uint64, uint8) {
+			pos %= 72
+			if pos < 64 {
+				return d ^ 1<<pos, c
+			}
+			return d, c ^ 1<<(pos-64)
+		}
+
+		// Zero errors: must check clean and return the data unchanged.
+		if got, st := Check64(data, check); st != OK || got != data {
+			t.Fatalf("clean word: got %x status %v", got, st)
+		}
+
+		// One error at posA: must correct back to the original data.
+		d1, c1 := flip(data, check, posA)
+		got, st := Check64(d1, c1)
+		if got != data {
+			t.Fatalf("single error at %d: data %x not recovered (got %x, status %v)",
+				posA%72, data, got, st)
+		}
+		if posA%72 < 64 {
+			if st != CorrectedData {
+				t.Fatalf("single data-bit error at %d: status %v", posA%72, st)
+			}
+		} else if st != CorrectedCheck {
+			t.Fatalf("single check-bit error at %d: status %v", posA%72, st)
+		}
+
+		// Two distinct errors: must be detected, and never silently
+		// returned as a clean or "corrected" word.
+		if posA%72 == posB%72 {
+			return
+		}
+		d2, c2 := flip(d1, c1, posB)
+		if _, st := Check64(d2, c2); st != DetectedDouble {
+			t.Fatalf("double error at %d,%d: status %v (want detected-double)",
+				posA%72, posB%72, st)
+		}
+
+		// Sanity: the injected double really differs in exactly two
+		// codeword positions.
+		if bits.OnesCount64(d2^data)+bits.OnesCount8(c2^check) != 2 {
+			t.Fatalf("error injection broken: %d bits differ",
+				bits.OnesCount64(d2^data)+bits.OnesCount8(c2^check))
+		}
+	})
+}

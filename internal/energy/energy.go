@@ -61,7 +61,9 @@ const lineBits = 8 * 72
 func (m Model) FromRank(rank *dimm.Rank, met *mem.Metrics) Breakdown {
 	var b Breakdown
 	pjToUJ := 1e-6
-	reads := float64(met.Reads.Value())
+	// Verify read-backs sense the array like demand reads do (retry
+	// programming energy is already in the chips' flip counters).
+	reads := float64(met.Reads.Value() + met.VerifyReads.Value())
 	b.ReadUJ = reads * lineBits * m.ReadPJPerBit * pjToUJ
 	b.BusUJ = (reads + float64(met.Writes.Value())) * lineBits * m.BusPJPerBit * pjToUJ
 	for _, c := range rank.Chips {

@@ -28,6 +28,13 @@ type Spec struct {
 	FaultMode string
 	// WritePausing enables the HPCA 2010 comparator on the baseline.
 	WritePausing bool
+	// EnduranceBudget caps per-cell-group write endurance before cells
+	// stick (0 = perfect cells); DriftProb is the per-read transient
+	// flip probability. Both feed the pcm.FaultModel.
+	EnduranceBudget uint64
+	DriftProb       float64
+	// VerifyWrites turns on the program-and-verify retry/remap path.
+	VerifyWrites bool
 	Seed         uint64
 }
 
@@ -65,6 +72,9 @@ func (r *Runner) configFor(s Spec) *config.Config {
 	}
 	cfg.Memory.FaultMode = s.FaultMode
 	cfg.Memory.WritePausing = s.WritePausing
+	cfg.Memory.EnduranceBudget = s.EnduranceBudget
+	cfg.Memory.DriftProb = s.DriftProb
+	cfg.Memory.VerifyWrites = s.VerifyWrites
 	return cfg
 }
 

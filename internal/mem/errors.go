@@ -1,0 +1,28 @@
+package mem
+
+import "fmt"
+
+// UncorrectableError reports a read whose returned data could not be
+// fully repaired: SECDED found a multi-bit error in at least one word
+// and PCC reconstruction could not produce a word that re-validates
+// against the stored check bits. The request's ReadData still carries
+// the controller's best effort, but the marked words are not
+// trustworthy; consumers must treat the access as failed rather than
+// use the data silently.
+type UncorrectableError struct {
+	// Addr is the request's line-aligned physical byte address.
+	Addr uint64
+	// LineIdx is the channel-local line index (after any remapping).
+	LineIdx uint64
+	// WordMask marks the 8-byte words (bit w = word w) that remain
+	// corrupt after SECDED correction and PCC reconstruction. Zero means
+	// the line-level parity audit failed without localizing a word: some
+	// word passed SECDED (or was silently miscorrected — SECDED aliases
+	// >=3-bit errors) yet the line's XOR disagrees with its PCC parity.
+	WordMask uint8
+}
+
+func (e *UncorrectableError) Error() string {
+	return fmt.Sprintf("mem: uncorrectable error at addr %#x (line %#x, words %#08b)",
+		e.Addr, e.LineIdx, e.WordMask)
+}

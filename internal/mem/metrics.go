@@ -29,6 +29,19 @@ type Metrics struct {
 
 	ECCCorrected stats.Counter // SECDED single-bit corrections on reads
 
+	// Reliability path (fault injection + program-and-verify; the
+	// counters cross-check against pcm.FaultModel's injection counts).
+	SECDEDCorrected  stats.Counter         // read words repaired by SECDED (data bit)
+	SECDEDCheckFixed stats.Counter         // check-word-only errors found by SECDED
+	PCCRecovered     stats.Counter         // double-bit words rebuilt from PCC parity
+	UncorrectedReads stats.Counter         // reads reported with a typed uncorrectable error
+	WriteVerifies    stats.Counter         // writes that entered program-and-verify
+	VerifyReads      stats.Counter         // verify read-back operations (initial + per retry)
+	WriteRetries     stats.Counter         // re-program attempts after a verify mismatch
+	WriteRemaps      stats.Counter         // lines remapped to the spare pool
+	RemapFailures    stats.Counter         // remaps abandoned: spare pool exhausted
+	VerifyLatency    *stats.LatencyTracker // verify/retry time appended past the write's program end
+
 	DrainEntries stats.Counter
 	WriteQStalls stats.Counter // enqueue attempts rejected: write queue full
 	ReadQStalls  stats.Counter
@@ -44,10 +57,11 @@ type Metrics struct {
 // NewMetrics returns a zeroed metrics block.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		ReadLatency:  stats.NewLatencyTracker(),
-		WriteLatency: stats.NewLatencyTracker(),
-		DirtyWords:   stats.NewHistogram(9),
-		IRLP:         stats.NewIRLP(),
+		ReadLatency:   stats.NewLatencyTracker(),
+		WriteLatency:  stats.NewLatencyTracker(),
+		VerifyLatency: stats.NewLatencyTracker(),
+		DirtyWords:    stats.NewHistogram(9),
+		IRLP:          stats.NewIRLP(),
 	}
 }
 
@@ -89,6 +103,15 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.WoWOverlapped.Add(other.WoWOverlapped.Value())
 	m.OverlapReads.Add(other.OverlapReads.Value())
 	m.ECCCorrected.Add(other.ECCCorrected.Value())
+	m.SECDEDCorrected.Add(other.SECDEDCorrected.Value())
+	m.SECDEDCheckFixed.Add(other.SECDEDCheckFixed.Value())
+	m.PCCRecovered.Add(other.PCCRecovered.Value())
+	m.UncorrectedReads.Add(other.UncorrectedReads.Value())
+	m.WriteVerifies.Add(other.WriteVerifies.Value())
+	m.VerifyReads.Add(other.VerifyReads.Value())
+	m.WriteRetries.Add(other.WriteRetries.Value())
+	m.WriteRemaps.Add(other.WriteRemaps.Value())
+	m.RemapFailures.Add(other.RemapFailures.Value())
 	m.DrainEntries.Add(other.DrainEntries.Value())
 	m.WriteQStalls.Add(other.WriteQStalls.Value())
 	m.ReadQStalls.Add(other.ReadQStalls.Value())
@@ -97,6 +120,7 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.WritePauses.Add(other.WritePauses.Value())
 	stats.MergeLatency(m.ReadLatency, other.ReadLatency)
 	stats.MergeLatency(m.WriteLatency, other.WriteLatency)
+	stats.MergeLatency(m.VerifyLatency, other.VerifyLatency)
 	stats.MergeHistogram(m.DirtyWords, other.DirtyWords)
 	if other.haveArrival {
 		m.NoteArrival(other.FirstArrival)

@@ -74,6 +74,12 @@ type Request struct {
 
 	// ReadData receives the returned line content for reads.
 	ReadData [ecc.LineBytes]byte
+
+	// Err is set before OnDone when the request could not be served
+	// correctly — for reads, an *UncorrectableError when stored
+	// corruption survived SECDED correction and PCC reconstruction.
+	// Nil on every successfully served request.
+	Err error
 }
 
 // Latency returns the request's total service latency.

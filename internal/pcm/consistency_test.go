@@ -1,0 +1,76 @@
+package pcm
+
+import (
+	"strings"
+	"testing"
+
+	"pcmap/internal/sim"
+)
+
+// TestCheckConsistentDetectsCorruption flips a single bit in each of a
+// line's three storage regions — data, SECDED check bytes, and the PCC
+// parity word — and asserts CheckConsistent reports every one. This is
+// the debug assertion the fault-injection tests rely on; a region it
+// cannot see would let stuck-at or drift corruption slip past them.
+func TestCheckConsistentDetectsCorruption(t *testing.T) {
+	rng := sim.NewRNG(42)
+	fresh := func() *Line {
+		s := NewStore()
+		s.WriteWords(0, 0xff, randomLine(rng))
+		return s.Peek(0)
+	}
+
+	if err := fresh().CheckConsistent(); err != nil {
+		t.Fatalf("uncorrupted line: %v", err)
+	}
+
+	cases := []struct {
+		region  string
+		corrupt func(l *Line)
+		want    string // substring of the error naming the mismatch
+	}{
+		{"Data", func(l *Line) { l.Data[17] ^= 0x04 }, "ECC mismatch"},
+		{"ECC", func(l *Line) { l.ECC[3] ^= 0x80 }, "ECC mismatch"},
+		{"PCC", func(l *Line) { l.PCC[5] ^= 0x01 }, "PCC mismatch"},
+	}
+	for _, tc := range cases {
+		l := fresh()
+		tc.corrupt(l)
+		err := l.CheckConsistent()
+		if err == nil {
+			t.Errorf("%s corruption not detected", tc.region)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s corruption: error %q does not name %q", tc.region, err, tc.want)
+		}
+	}
+
+	// Every byte of every region, not just the spots above: flipping any
+	// single stored bit must break consistency.
+	l := fresh()
+	for i := range l.Data {
+		l.Data[i] ^= 1
+		if l.CheckConsistent() == nil {
+			t.Fatalf("Data[%d] flip not detected", i)
+		}
+		l.Data[i] ^= 1
+	}
+	for i := range l.ECC {
+		l.ECC[i] ^= 1
+		if l.CheckConsistent() == nil {
+			t.Fatalf("ECC[%d] flip not detected", i)
+		}
+		l.ECC[i] ^= 1
+	}
+	for i := range l.PCC {
+		l.PCC[i] ^= 1
+		if l.CheckConsistent() == nil {
+			t.Fatalf("PCC[%d] flip not detected", i)
+		}
+		l.PCC[i] ^= 1
+	}
+	if err := l.CheckConsistent(); err != nil {
+		t.Fatalf("line not restored after flips: %v", err)
+	}
+}

@@ -43,6 +43,12 @@ func (l *Line) CheckConsistent() error {
 // written read as zero.
 type Store struct {
 	lines map[uint64]*Line
+
+	// Faults, when non-nil, injects endurance-driven stuck-at cells on
+	// every programming operation and drift flips on demand (see
+	// InjectDrift). Nil means perfect cells at zero cost: no wear state
+	// is kept and no randomness is consumed.
+	Faults *FaultModel
 }
 
 // NewStore returns an empty store.
@@ -118,19 +124,63 @@ func (s *Store) WriteWords(lineIdx uint64, mask uint8, newData *[ecc.LineBytes]b
 		if mask&(1<<uint(w)) == 0 {
 			continue
 		}
+		// The differential write compares against the cells' actual
+		// content (the internal read-before-write), so a stuck or
+		// drifted cell holding the wrong value shows up as a flip and
+		// triggers a programming attempt.
 		oldWord := ecc.Word(&l.Data, w)
 		newWord := ecc.Word(newData, w)
 		res.PerWord[w] = AnalyzeWordWrite(oldWord, newWord)
 		if res.PerWord[w].Any() {
 			res.WordsDirty++
+			stored := newWord
+			if s.Faults != nil {
+				stored = s.Faults.onProgram(lineIdx, w, newWord)
+			}
+			ecc.SetWord(&l.Data, w, stored)
 		}
+		// The controller computes the code updates from the intended
+		// word (it cannot see failed cells until a verify read-back),
+		// so stored codes track intent, not corrupted content.
 		l.PCC = ecc.UpdatePCC(l.PCC, oldWord, newWord)
-		ecc.SetWord(&l.Data, w, newWord)
 		l.ECC[w] = ecc.Encode64(newWord)
 	}
 	res.ECCFlips = AnalyzeWordWrite(oldECCWord, eccWord(l.ECC))
 	res.PCCFlips = AnalyzeWordWrite(oldPCCWord, wordOf(l.PCC))
+	// The ECC and PCC words are PCM cells too: their programming wears
+	// them and applies any stuck bits they have accumulated.
+	if s.Faults != nil {
+		if res.ECCFlips.Any() {
+			putWord64(l.ECC[:], s.Faults.onProgram(lineIdx, SlotECC, eccWord(l.ECC)))
+		}
+		if res.PCCFlips.Any() {
+			putWord64(l.PCC[:], s.Faults.onProgram(lineIdx, SlotPCC, wordOf(l.PCC)))
+		}
+	}
 	return res
+}
+
+// putWord64 stores v little-endian into an 8-byte slice (the inverse of
+// eccWord/wordOf).
+func putWord64(dst []byte, v uint64) {
+	for i := range dst {
+		dst[i] = byte(v >> uint(8*i))
+	}
+}
+
+// InjectDrift applies the fault model's transient drift to one stored
+// line, as the read path samples it before observing content. It
+// reports whether a bit flipped. Never-written lines share the zero
+// line and are skipped (their cells were never programmed).
+func (s *Store) InjectDrift(lineIdx uint64) bool {
+	if s.Faults == nil {
+		return false
+	}
+	l, ok := s.lines[lineIdx]
+	if !ok {
+		return false
+	}
+	return s.Faults.onRead(lineIdx, l) >= 0
 }
 
 func eccWord(e [ecc.WordsPerLine]byte) uint64 {

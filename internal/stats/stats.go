@@ -233,6 +233,9 @@ func F(x float64) string { return fmt.Sprintf("%.2f", x) }
 // Pct formats a ratio as a percentage for table cells.
 func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
 
+// N formats an integer count for table cells.
+func N(x uint64) string { return fmt.Sprintf("%d", x) }
+
 // GeoMean returns the geometric mean of xs, ignoring non-positive values.
 func GeoMean(xs []float64) float64 {
 	var s float64

@@ -101,6 +101,11 @@ type Results struct {
 
 	L2MissRatio, LLCMissRatio float64
 
+	// InjectedStuck and InjectedDrift count the fault model's injected
+	// errors over the whole run (injection state is cumulative, unlike
+	// the windowed metrics); zero when fault injection is off.
+	InjectedStuck, InjectedDrift uint64
+
 	// Energy is the measured-phase PCM energy breakdown (rendered).
 	Energy string
 }
@@ -147,6 +152,7 @@ func (s *System) Run(warmup, measure uint64) (*Results, error) {
 	}
 	r.L2MissRatio = s.Hier.L2.MissRatio()
 	r.LLCMissRatio = s.Hier.LLC.MissRatio()
+	r.InjectedStuck, r.InjectedDrift = s.Mem.FaultCounts()
 	r.Energy = s.Mem.Energy(energy.Default()).String()
 	return r, nil
 }
