@@ -1,0 +1,25 @@
+# Convenience targets; CI runs the same commands (see
+# .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test race lint figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Static analysis: go vet + the pcmaplint suite, plus staticcheck and
+# govulncheck when installed. See scripts/lint.sh.
+lint:
+	sh scripts/lint.sh
+
+# Regenerate the paper's headline figures (small budgets; see README
+# for full-scale runs).
+figures:
+	$(GO) run ./cmd/pcmapsim -exp headline

@@ -230,7 +230,7 @@ func ipcName(alpha float64) string {
 // BenchmarkAblationStatusPoll measures the DIMM-register polling cost.
 func BenchmarkAblationStatusPoll(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, cycles := range []int{0, 2, 8} {
+		for _, cycles := range []mem.Cycles{0, 2, 8} {
 			cfg := config.Default().WithVariant(config.RWoWRDE)
 			cfg.Memory.StatusPollCycles = cycles
 			s, err := system.Build(cfg, "MP1")

@@ -1,0 +1,100 @@
+// Command pcmaplint runs the project's static-analysis suite: the
+// custom analyzers in internal/analysis/checks (determinism, unit
+// safety, metrics lifecycle, typed errors, float comparisons) plus
+// `go vet`. It exits non-zero when any check reports a finding, so CI
+// and `make lint` can gate on it.
+//
+// Usage:
+//
+//	pcmaplint [-vet=false] [-dir DIR] [packages...]
+//
+// Packages default to ./... . Findings print as
+//
+//	file:line:col: message (analyzer)
+//
+// A finding can be suppressed with a same-line or preceding-line
+// comment
+//
+//	//pcmaplint:ignore analyzer1,analyzer2 reason for the exception
+//
+// The reason is mandatory; reasonless directives are themselves
+// findings. See DESIGN.md ("Simulator invariants") for what each
+// analyzer enforces and why.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+
+	"pcmap/internal/analysis"
+	"pcmap/internal/analysis/checks"
+)
+
+// floatCmpScope limits the floatcmp analyzer to the packages where a
+// float equality is essentially always a bug: statistics aggregation,
+// the energy model, and the experiment harness. Elsewhere (e.g. unit
+// tests asserting exact small constants) the comparison can be
+// deliberate.
+var floatCmpScope = regexp.MustCompile(`(^|/)(stats|energy|exp)(/|$)`)
+
+func main() {
+	vet := flag.Bool("vet", true, "also run `go vet` over the same packages")
+	dir := flag.String("dir", ".", "module directory to analyze")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Dir = *dir
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcmaplint:", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzersFor(pkg.PkgPath))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcmaplint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			failed = true
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// analyzersFor selects the suite for one package: everything except
+// floatcmp, which applies only inside its scope.
+func analyzersFor(pkgPath string) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range checks.All {
+		if a == checks.FloatCmp && !floatCmpScope.MatchString(pkgPath) {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -51,8 +52,8 @@ func TestInvalidFlagsExitNonZero(t *testing.T) {
 			cmd := exec.Command(binPath, tc.args...)
 			cmd.Stderr = &stderr
 			err := cmd.Run()
-			ee, ok := err.(*exec.ExitError)
-			if !ok {
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) {
 				t.Fatalf("want non-zero exit, got err=%v stderr=%q", err, stderr.String())
 			}
 			if ee.ExitCode() == 0 {
@@ -73,7 +74,8 @@ func TestUnknownWorkloadFails(t *testing.T) {
 	cmd := exec.Command(binPath, "-exp", "adhoc", "-workload", "NOPE", "-measure", "1000")
 	cmd.Stderr = &stderr
 	err := cmd.Run()
-	if _, ok := err.(*exec.ExitError); !ok {
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
 		t.Fatalf("want non-zero exit, got err=%v stderr=%q", err, stderr.String())
 	}
 	if !strings.Contains(stderr.String(), "NOPE") {

@@ -32,7 +32,7 @@ func run(v config.Variant, faulty bool) (mean, p95 float64, served, verified, fa
 	// Background compaction: steady single-word write-backs.
 	for i := 0; i < 600; i++ {
 		addr := uint64(rng.Intn(1<<16)) * 256 // channel 0
-		at := sim.Time(i) * sim.NS(95)
+		at := sim.NS(95).Times(i)
 		req := &mem.Request{Kind: mem.Write, Addr: addr, Mask: 1 << uint(rng.Intn(8))}
 		eng.At(at, func() {
 			var try func()
@@ -47,7 +47,7 @@ func run(v config.Variant, faulty bool) (mean, p95 float64, served, verified, fa
 	// Foreground point reads.
 	for i := 0; i < 400; i++ {
 		addr := uint64(rng.Intn(1<<16)) * 256
-		at := sim.Time(i)*sim.NS(140) + sim.NS(5)
+		at := sim.NS(140).Times(i) + sim.NS(5)
 		req := &mem.Request{Kind: mem.Read, Addr: addr, OnDone: func(r *mem.Request) {
 			lat.Add(r.Latency())
 		}}

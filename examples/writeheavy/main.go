@@ -25,7 +25,7 @@ func main() {
 	rng := sim.NewRNG(2024)
 	offset := 0
 	for i := 0; i < 4000; i++ {
-		at := sim.Time(i) * sim.NS(18)
+		at := sim.NS(18).Times(i)
 		addr := uint64(rng.Intn(1<<18)) * 64
 		if i%5 == 4 {
 			recs = append(recs, trace.Record{At: at, Addr: addr, Kind: mem.Read})

@@ -1,0 +1,177 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework in the style of golang.org/x/tools/go/analysis. The
+// canonical framework is not vendored here (the build must stand on the
+// standard library alone), so this package reimplements the slice of it
+// that pcmaplint needs: an Analyzer abstraction, a Pass carrying the
+// loaded syntax and type information for one package, positioned
+// Diagnostics, and an in-source suppression directive.
+//
+// Suppression: a comment of the form
+//
+//	//pcmaplint:ignore name1,name2 reason text
+//
+// on the same line as, or the line immediately above, a diagnostic
+// suppresses findings from the named analyzers. The reason text is
+// mandatory; a directive without one is itself reported. This keeps
+// every suppression auditable (grep for pcmaplint:ignore).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one check. Run inspects a single package and
+// reports findings through the Pass.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in output and directives
+	Doc  string // one-paragraph description of what it reports
+	Run  func(*Pass) error
+}
+
+// Pass carries the per-package inputs to an Analyzer's Run and collects
+// its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File // syntax of the package under analysis
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic like a compiler error.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer to the package, filters suppressed
+// findings, and returns the surviving diagnostics sorted by position.
+// Analyzer errors (not findings) abort the run.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := collectSuppressions(pkg)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.PkgPath, a.Name, err)
+		}
+	}
+	diags = append(diags, sup.malformed...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	sortDiagnostics(kept)
+	return kept, nil
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer,
+// message — a total, deterministic order.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+const ignoreDirective = "//pcmaplint:ignore"
+
+// suppressions indexes ignore directives by (file, line, analyzer).
+type suppressions struct {
+	byLine    map[string]map[int][]string // file -> line -> analyzer names
+	malformed []Diagnostic
+}
+
+func (s *suppressions) covers(d Diagnostic) bool {
+	lines := s.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive suppresses findings on its own line and the next line
+	// (the "immediately preceding comment" form).
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func collectSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byLine: map[string]map[int][]string{}}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "pcmaplint",
+						Message:  "pcmaplint:ignore directive needs analyzer name(s) and a reason",
+					})
+					continue
+				}
+				if s.byLine[pos.Filename] == nil {
+					s.byLine[pos.Filename] = map[int][]string{}
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						s.byLine[pos.Filename][pos.Line] = append(s.byLine[pos.Filename][pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return s
+}

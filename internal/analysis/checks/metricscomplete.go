@@ -1,0 +1,132 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pcmap/internal/analysis"
+)
+
+// MetricsComplete guards the most common silent-corruption bug in the
+// metrics pipeline: adding a counter field to a Metrics struct and
+// forgetting to thread it through aggregation. A forgotten field makes
+// multi-channel runs under-report (Merge), leak warmup measurements
+// into the measured window (Reset), or vanish from reports (Counters)
+// — none of which fails a test on its own.
+//
+// For any struct type named "Metrics" that has stats.Counter fields:
+//
+//   - each stats.Counter field must be referenced in the Merge, Reset,
+//     and Counters methods;
+//   - each pointer field whose element type is defined in the stats
+//     package (LatencyTracker, Histogram, IRLP, ...) must be referenced
+//     in Reset (Merge policy for trackers is type-specific, so only
+//     lifecycle completeness is enforced for them);
+//   - the three methods must exist.
+var MetricsComplete = &analysis.Analyzer{
+	Name: "metricscomplete",
+	Doc:  "reports Metrics fields missing from the Merge/Reset/Counters lifecycle",
+	Run:  runMetricsComplete,
+}
+
+func runMetricsComplete(pass *analysis.Pass) error {
+	obj := pass.Pkg.Scope().Lookup("Metrics")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+
+	var counters, trackers []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if namedIn(f.Type(), "stats", "Counter") {
+			counters = append(counters, f)
+			continue
+		}
+		if ptr, ok := f.Type().(*types.Pointer); ok {
+			if n, ok := ptr.Elem().(*types.Named); ok {
+				if p := n.Obj().Pkg(); p != nil && pkgLast(p.Path()) == "stats" {
+					trackers = append(trackers, f)
+				}
+			}
+		}
+	}
+	if len(counters) == 0 {
+		return nil // not a metrics block in this package's sense
+	}
+
+	methods := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if recvNamed(pass, fd.Recv.List[0].Type) == tn {
+				methods[fd.Name.Name] = fd
+			}
+		}
+	}
+
+	required := map[string][]*types.Var{
+		"Merge":    counters,
+		"Reset":    append(append([]*types.Var{}, counters...), trackers...),
+		"Counters": counters,
+	}
+	for _, name := range []string{"Merge", "Reset", "Counters"} {
+		m := methods[name]
+		if m == nil {
+			pass.Reportf(tn.Pos(), "Metrics has counter fields but no %s method; the full lifecycle is Merge/Reset/Counters", name)
+			continue
+		}
+		used := fieldsReferenced(pass, m)
+		for _, f := range required[name] {
+			if !used[f] {
+				pass.Reportf(f.Pos(), "field %s is not handled in (%s).%s", f.Name(), tn.Name(), name)
+			}
+		}
+	}
+	return nil
+}
+
+// recvNamed resolves a method receiver type expression to its type
+// name, unwrapping the pointer if present.
+func recvNamed(pass *analysis.Pass, expr ast.Expr) *types.TypeName {
+	t := pass.TypesInfo.Types[expr].Type
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// fieldsReferenced collects the struct fields selected anywhere in the
+// method body.
+func fieldsReferenced(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	used := map[*types.Var]bool{}
+	if fd.Body == nil {
+		return used
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		se, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel := pass.TypesInfo.Selections[se]; sel != nil {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				used[v] = true
+			}
+		}
+		return true
+	})
+	return used
+}

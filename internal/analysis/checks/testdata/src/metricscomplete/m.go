@@ -1,0 +1,46 @@
+// Package metricscomplete exercises the metrics-lifecycle analyzer: a
+// Metrics struct where one counter is missing from each lifecycle
+// method and a tracker is missing from Reset.
+package metricscomplete
+
+import "stats"
+
+// Metrics has deliberate gaps; each missing-field diagnostic anchors on
+// the field declaration.
+type Metrics struct {
+	Reads  stats.Counter
+	Writes stats.Counter // complete: in Merge, Reset, and Counters
+	Stalls stats.Counter // want `field Stalls is not handled in \(Metrics\)\.Merge`
+
+	Forgotten stats.Counter // want `field Forgotten is not handled in \(Metrics\)\.Reset` `field Forgotten is not handled in \(Metrics\)\.Counters`
+
+	ReadLatency *stats.LatencyTracker
+	LostTracker *stats.LatencyTracker // want `field LostTracker is not handled in \(Metrics\)\.Reset`
+
+	label string // non-stats fields are not lifecycle-checked
+}
+
+// Merge folds other in, but forgets Stalls.
+func (m *Metrics) Merge(other *Metrics) {
+	m.Reads.Add(other.Reads.Value())
+	m.Writes.Add(other.Writes.Value())
+	m.Forgotten.Add(other.Forgotten.Value())
+}
+
+// Reset clears the block, but forgets Forgotten and LostTracker.
+func (m *Metrics) Reset() {
+	m.Reads = stats.Counter{}
+	m.Writes = stats.Counter{}
+	m.Stalls = stats.Counter{}
+	m.ReadLatency = stats.NewLatencyTracker()
+	m.label = ""
+}
+
+// Counters reports the counters, but forgets Forgotten.
+func (m *Metrics) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"reads":  m.Reads.Value(),
+		"writes": m.Writes.Value(),
+		"stalls": m.Stalls.Value(),
+	}
+}

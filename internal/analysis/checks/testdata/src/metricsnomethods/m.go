@@ -1,0 +1,10 @@
+// Package metricsnomethods has a Metrics struct with counters but no
+// lifecycle methods at all.
+package metricsnomethods
+
+import "stats"
+
+// Metrics lacks Merge, Reset, and Counters entirely.
+type Metrics struct { // want `no Merge method` `no Reset method` `no Counters method`
+	Hits stats.Counter
+}

@@ -1,0 +1,17 @@
+// Package sim is a fixture stand-in for pcmap/internal/sim: the
+// unitsafe analyzer matches unit types by (package path suffix, type
+// name), so this one-element import path exercises the same logic.
+package sim
+
+// Time mirrors the real sim.Time.
+type Time int64
+
+// MemCycle mirrors the real tick constant.
+const MemCycle Time = 25
+
+// Ticks mirrors the accessor; defined here so conversions inside the
+// defining package are visibly exempt.
+func (t Time) Ticks() int64 { return int64(t) }
+
+// Times scales by a bare count.
+func (t Time) Times(n int) Time { return t * Time(n) }

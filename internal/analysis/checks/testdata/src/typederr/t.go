@@ -1,0 +1,60 @@
+// Package typederr exercises the typed-error analyzer.
+package typederr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// UncorrectableError mirrors the simulator's typed read error.
+type UncorrectableError struct {
+	Addr uint64
+}
+
+func (e *UncorrectableError) Error() string {
+	return fmt.Sprintf("uncorrectable at %#x", e.Addr)
+}
+
+// limit is named like an error but does not implement error; the
+// analyzer must leave it alone.
+type limitError struct{ n int }
+
+var sentinel = &UncorrectableError{}
+
+func violations(err error, u *UncorrectableError) {
+	if u == sentinel { // want `comparing \*UncorrectableError with == breaks on wrapped errors; use errors\.Is`
+		return
+	}
+	if sentinel != u { // want `comparing \*UncorrectableError with != breaks on wrapped errors; use errors\.Is`
+		return
+	}
+	if _, ok := err.(*UncorrectableError); ok { // want `type assertion to \*UncorrectableError misses wrapped errors; use errors\.As`
+		return
+	}
+	switch err.(type) {
+	case *UncorrectableError: // want `type-switch case \*UncorrectableError misses wrapped errors; use errors\.As`
+	default:
+	}
+	switch e := err.(type) {
+	case *UncorrectableError: // want `type-switch case \*UncorrectableError misses wrapped errors; use errors\.As`
+		_ = e
+	}
+}
+
+func allowed(err error, u *UncorrectableError, l *limitError) {
+	if u == nil || nil != u { // nil checks are fine
+		return
+	}
+	var ue *UncorrectableError
+	if errors.As(err, &ue) { // the blessed form
+		_ = ue.Addr
+	}
+	if _, ok := err.(interface{ Timeout() bool }); ok { // non-Error-named targets are fine
+		return
+	}
+	_ = l == &limitError{n: 1} // limitError does not implement error
+	switch err.(type) {
+	case nil:
+	default:
+	}
+}

@@ -1,0 +1,138 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pcmap/internal/analysis"
+)
+
+// TypedErr enforces errors.Is / errors.As for the simulator's typed
+// errors (pointer types named *...Error that implement error, such as
+// mem.UncorrectableError). Direct pointer comparison (==, !=) and
+// direct type assertion from an error interface both break silently
+// the moment an error is wrapped with fmt.Errorf("...: %w", err) —
+// which the reliability path does — so both are reported.
+var TypedErr = &analysis.Analyzer{
+	Name: "typederr",
+	Doc:  "reports ==/!=/type-assertions on typed errors; use errors.Is and errors.As",
+	Run:  runTypedErr,
+}
+
+func runTypedErr(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkErrCompare(pass, n)
+				}
+			case *ast.TypeAssertExpr:
+				if n.Type != nil { // nil Type is a type switch guard, handled below
+					checkErrAssert(pass, n.X, n.Type)
+				}
+			case *ast.TypeSwitchStmt:
+				checkErrTypeSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrCompare reports x ==/!= y when either side is a typed error
+// and the other side is not the nil literal.
+func checkErrCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	xt := pass.TypesInfo.Types[be.X]
+	yt := pass.TypesInfo.Types[be.Y]
+	for _, side := range []struct{ mine, other types.TypeAndValue }{{xt, yt}, {yt, xt}} {
+		name := typedErrName(side.mine.Type)
+		if name == "" || side.other.IsNil() {
+			continue
+		}
+		pass.Reportf(be.OpPos, "comparing *%s with %s breaks on wrapped errors; use errors.Is", name, be.Op)
+		return
+	}
+}
+
+// checkErrAssert reports err.(*SomeError) when err is an error
+// interface value.
+func checkErrAssert(pass *analysis.Pass, x ast.Expr, typ ast.Expr) {
+	if !isErrorInterface(pass.TypesInfo.Types[x].Type) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[typ]
+	if !ok {
+		return
+	}
+	if name := typedErrName(tv.Type); name != "" {
+		pass.Reportf(typ.Pos(), "type assertion to *%s misses wrapped errors; use errors.As", name)
+	}
+}
+
+// checkErrTypeSwitch reports `switch err.(type) { case *SomeError: }`.
+func checkErrTypeSwitch(pass *analysis.Pass, ts *ast.TypeSwitchStmt) {
+	var guard ast.Expr
+	switch s := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := s.X.(*ast.TypeAssertExpr); ok {
+			guard = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ta, ok := s.Rhs[0].(*ast.TypeAssertExpr); ok {
+				guard = ta.X
+			}
+		}
+	}
+	if guard == nil || !isErrorInterface(pass.TypesInfo.Types[guard].Type) {
+		return
+	}
+	for _, stmt := range ts.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := pass.TypesInfo.Types[expr]
+			if !ok {
+				continue
+			}
+			if name := typedErrName(tv.Type); name != "" {
+				pass.Reportf(expr.Pos(), "type-switch case *%s misses wrapped errors; use errors.As", name)
+			}
+		}
+	}
+}
+
+// typedErrName returns the element type name when t is a pointer to a
+// named type whose name ends in "Error" and which implements the error
+// interface (on the pointer receiver), else "".
+func typedErrName(t types.Type) string {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return ""
+	}
+	name := named.Obj().Name()
+	if !strings.HasSuffix(name, "Error") {
+		return ""
+	}
+	if !types.Implements(ptr, errorInterface()) {
+		return ""
+	}
+	return name
+}
+
+func isErrorInterface(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func errorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}

@@ -1,0 +1,139 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pcmap/internal/analysis"
+)
+
+// UnitSafe enforces the unit-type discipline around the simulator's
+// time-like quantities. Three defined types carry units:
+//
+//	sim.Time   — simulated time, 100 ps engine ticks
+//	mem.Cycles — 400 MHz memory-bus clock cycles (a count, not a time)
+//	mem.Picos  — picoseconds (PCM cell timings from the device literature)
+//
+// Mixing them through bare conversions is exactly the
+// cycles-versus-nanoseconds class of bug that silently rescales every
+// simulated latency, so outside a unit's defining package:
+//
+//   - converting one unit type directly to another is reported
+//     (go through the conversion methods: Cycles.Time, Picos.Time, ...);
+//   - converting a unit value to a bare numeric type is reported
+//     (use the accessor methods: Time.Ticks, Cycles.Int, Picos.NS);
+//   - multiplying two non-constant unit-typed values is reported (a
+//     time times a time is not a time; use Times/Scale for scalar
+//     scaling). Constant operands stay legal so the duration-literal
+//     idiom (1000 * sim.CPUCycle, like 10 * time.Second) reads
+//     naturally.
+//
+// Constructing a unit from a bare numeric (sim.Time(5), mem.Cycles(n))
+// stays legal: that is how literals acquire units.
+var UnitSafe = &analysis.Analyzer{
+	Name: "unitsafe",
+	Doc:  "reports conversions and arithmetic that mix sim.Time, mem.Cycles, and mem.Picos",
+	Run:  runUnitSafe,
+}
+
+// unitTypes maps (defining package suffix, type name) to a display
+// name.
+var unitTypes = map[[2]string]string{
+	{"sim", "Time"}:   "sim.Time",
+	{"mem", "Cycles"}: "mem.Cycles",
+	{"mem", "Picos"}:  "mem.Picos",
+}
+
+// unitOf returns the display name of t's unit ("" when t is not a unit
+// type) and the suffix of its defining package.
+func unitOf(t types.Type) (display, defPkg string) {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return "", ""
+	}
+	last := pkgLast(obj.Pkg().Path())
+	return unitTypes[[2]string{last, obj.Name()}], last
+}
+
+func runUnitSafe(pass *analysis.Pass) error {
+	self := pkgLast(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(pass, self, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.MUL {
+					checkUnitProduct(pass, self, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkConversion reports unit-violating type conversions.
+func checkConversion(pass *analysis.Pass, self string, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	ftv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !ftv.IsType() {
+		return
+	}
+	dst := ftv.Type
+	atv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || atv.Type == nil {
+		return
+	}
+	src := atv.Type
+	srcUnit, srcPkg := unitOf(src)
+	dstUnit, dstPkg := unitOf(dst)
+	// A unit's defining package implements the conversion methods; the
+	// raw conversions there are the single blessed implementation site.
+	if (srcUnit != "" && srcPkg == self) || (dstUnit != "" && dstPkg == self) {
+		return
+	}
+	switch {
+	case srcUnit != "" && dstUnit != "" && srcUnit != dstUnit:
+		pass.Reportf(call.Pos(), "direct conversion %s -> %s mixes units; use the conversion methods (e.g. %s.Time())", srcUnit, dstUnit, srcUnit)
+	case srcUnit != "" && dstUnit == "" && isBareNumeric(dst):
+		pass.Reportf(call.Pos(), "conversion strips the %s unit; use its accessor methods (Ticks/Int/NS) instead", srcUnit)
+	}
+}
+
+// checkUnitProduct reports unit*unit multiplications.
+func checkUnitProduct(pass *analysis.Pass, self string, be *ast.BinaryExpr) {
+	xt := pass.TypesInfo.Types[be.X]
+	yt := pass.TypesInfo.Types[be.Y]
+	if xt.Type == nil || yt.Type == nil {
+		return
+	}
+	// The duration-literal idiom (1000 * sim.CPUCycle, mirroring
+	// 10 * time.Second) is legal: a constant operand is a scalar, not a
+	// second unit-carrying quantity.
+	if xt.Value != nil || yt.Value != nil {
+		return
+	}
+	xu, xp := unitOf(xt.Type)
+	yu, yp := unitOf(yt.Type)
+	if xu == "" || yu == "" {
+		return
+	}
+	if xp == self || yp == self {
+		return
+	}
+	pass.Reportf(be.OpPos, "multiplying %s by %s is not unit-correct; scale with Times/Scale instead", xu, yu)
+}
+
+// isBareNumeric reports whether t is a predeclared numeric type.
+func isBareNumeric(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. For
+// module packages the in-package test files are merged into Syntax (Go
+// forbids an in-package test file from importing a dependent of its own
+// package, so the merge cannot create a cycle); external test packages
+// (package foo_test) are returned as a separate Package.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	Export       string
+	DepOnly      bool
+	Standard     bool
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	TestImports  []string
+	XTestImports []string
+	Error        *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (go list syntax, e.g.
+// "./...") in the module rooted at dir, type-checks each from source
+// with its in-package test files merged, and returns them sorted by
+// import path. External test packages follow the package they test.
+//
+// Dependencies are imported from compiler export data discovered via
+// `go list -export`, so the module must build; Load reports the
+// compiler's errors otherwise.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, append([]string{"-deps"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	// Test files may import packages outside the non-test dependency
+	// graph (testing, os/exec, ...); fetch their export data too.
+	extra := map[string]bool{}
+	for _, p := range targets {
+		for _, imp := range append(append([]string{}, p.TestImports...), p.XTestImports...) {
+			if imp != "C" && exports[imp] == "" {
+				extra[imp] = true
+			}
+		}
+	}
+	if len(extra) > 0 {
+		paths := make([]string, 0, len(extra))
+		for p := range extra {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		more, err := goList(dir, append([]string{"-deps"}, paths...))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range more {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: %s uses cgo, which this loader does not support", t.ImportPath)
+		}
+		inPkg, err := checkFiles(fset, imp, t.ImportPath, t.Dir, append(append([]string{}, t.GoFiles...), t.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, inPkg)
+		if len(t.XTestGoFiles) > 0 {
+			xt, err := checkFiles(fset, imp, t.ImportPath+"_test", t.Dir, t.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xt)
+		}
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -e -export -json` with the given arguments and
+// decodes the JSON stream.
+func goList(dir string, args []string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from compiler export data files.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f := exports[path]
+		if f == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// checkFiles parses and type-checks one set of files as a package.
+func checkFiles(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, syntax, info)
+	if len(typeErrs) > 0 {
+		max := len(typeErrs)
+		if max > 10 {
+			max = 10
+		}
+		return nil, fmt.Errorf("analysis: %s does not type-check:\n\t%s", pkgPath, strings.Join(typeErrs[:max], "\n\t"))
+	}
+	name := ""
+	if len(syntax) > 0 {
+		name = syntax[0].Name.Name
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Name:      name,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// LoadFromSource type-checks the single package rooted at pkgDir,
+// resolving imports first against sibling directories under srcRoot
+// (fixture packages), then against the standard library's export data.
+// The analysistest fixture runner uses it; the import path of each
+// fixture package is its path relative to srcRoot.
+func LoadFromSource(srcRoot, pkgPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	std := map[string]string{}
+	ldr := &sourceLoader{
+		srcRoot: srcRoot,
+		fset:    fset,
+		std:     std,
+		cache:   map[string]*Package{},
+	}
+	ldr.stdImp = exportImporter(fset, std)
+	return ldr.load(pkgPath)
+}
+
+type sourceLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	std     map[string]string // std import path -> export file
+	stdImp  types.Importer
+	cache   map[string]*Package
+	loading map[string]bool
+}
+
+func (l *sourceLoader) load(pkgPath string) (*Package, error) {
+	if p, ok := l.cache[pkgPath]; ok {
+		return p, nil
+	}
+	if l.loading[pkgPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", pkgPath)
+	}
+	if l.loading == nil {
+		l.loading = map[string]bool{}
+	}
+	l.loading[pkgPath] = true
+	defer delete(l.loading, pkgPath)
+
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: fixture package %q: %v", pkgPath, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: fixture package %q has no Go files", pkgPath)
+	}
+
+	// Pre-resolve imports so fixture packages load (recursively) before
+	// the type checker asks for them.
+	imports, err := scanImports(dir, files)
+	if err != nil {
+		return nil, err
+	}
+	var stdNeeded []string
+	for _, imp := range imports {
+		if fi, statErr := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(imp))); statErr == nil && fi.IsDir() {
+			if _, err := l.load(imp); err != nil {
+				return nil, err
+			}
+		} else if l.std[imp] == "" {
+			stdNeeded = append(stdNeeded, imp)
+		}
+	}
+	if len(stdNeeded) > 0 {
+		listed, err := goList(l.srcRoot, append([]string{"-deps"}, stdNeeded...))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				l.std[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	pkg, err := checkFiles(l.fset, importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := l.cache[path]; ok {
+			return p.Types, nil
+		}
+		return l.stdImp.Import(path)
+	}), pkgPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[pkgPath] = pkg
+	return pkg, nil
+}
+
+// scanImports parses just the import clauses of files in dir.
+func scanImports(dir string, files []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	fset := token.NewFileSet()
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,7 @@
+// Package badreason holds a pcmaplint:ignore directive with no reason;
+// the framework must report the directive itself and decline to
+// suppress.
+package badreason
+
+//pcmaplint:ignore frametest
+func Bad() {}

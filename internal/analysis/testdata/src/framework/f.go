@@ -1,0 +1,18 @@
+// Package framework exercises the analysis harness itself: diagnostic
+// positions, want matching, and the pcmaplint:ignore directive.
+package framework
+
+import "fmt"
+
+func Bad() { // want `function Bad`
+	fmt.Println("bad")
+}
+
+func Good() {}
+
+//pcmaplint:ignore frametest suppressed on purpose for the framework test
+func BadButIgnored() {}
+
+//pcmaplint:ignore otherchecker this directive names a different analyzer
+func BadWrongName() { // want `function BadWrongName`
+}

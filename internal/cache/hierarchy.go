@@ -157,7 +157,7 @@ func (h *Hierarchy) notifyUnstall() {
 }
 
 // cpuCycles converts a CPU-cycle count to simulated time.
-func cpuCycles(n int) sim.Time { return sim.Time(n) * sim.CPUCycle }
+func cpuCycles(n int) sim.Time { return sim.CPUCycle.Times(n) }
 
 // l2PathLatency is the NoC round trip from the core to the L2 bank
 // owning addr plus the L2 hit time.

@@ -7,6 +7,7 @@ package config
 import (
 	"fmt"
 
+	"pcmap/internal/mem"
 	"pcmap/internal/sim"
 )
 
@@ -99,27 +100,30 @@ type NoC struct {
 	FlitBytes    int
 }
 
-// PCMTiming carries the PCM device timing of Table I. Read/SET/RESET are
-// cell-array latencies; the t* parameters are DDR3 command timings in
-// memory cycles at 400 MHz.
+// PCMTiming carries the PCM device timing of Table I. Read/SET/RESET
+// are cell-array latencies in picoseconds; the t* parameters are DDR3
+// command timings in memory cycles at 400 MHz. The two unit types
+// (mem.Picos and mem.Cycles) keep the quantities from mixing with
+// simulated time without an explicit .Time() conversion — the
+// pcmaplint unitsafe analyzer enforces this repo-wide.
 type PCMTiming struct {
-	ArrayRead sim.Time // read-path row activation / array read (60 ns)
+	ArrayRead mem.Picos // read-path row activation / array read (60 ns)
 	// WriteArrayRead is the write path's internal read-before-write
 	// (differential write compare). It equals ArrayRead by default but
 	// stays fixed in the Table III sensitivity sweep, which varies the
 	// read latency while holding the write path constant.
-	WriteArrayRead sim.Time
-	CellSET        sim.Time // SET programming time (120 ns)
-	CellRESET      sim.Time // RESET programming time (50 ns)
-	TCL            int      // CAS latency, memory cycles
-	TWL            int      // write latency (CAS-to-data), memory cycles
-	TCCD           int      // column-to-column delay
-	TWTR           int      // write-to-read turnaround
-	TRTP           int      // read-to-precharge
-	TRP            int      // precharge (row close); PCM arrays need no restore but
+	WriteArrayRead mem.Picos
+	CellSET        mem.Picos  // SET programming time (120 ns)
+	CellRESET      mem.Picos  // RESET programming time (50 ns)
+	TCL            mem.Cycles // CAS latency, memory cycles
+	TWL            mem.Cycles // write latency (CAS-to-data), memory cycles
+	TCCD           mem.Cycles // column-to-column delay
+	TWTR           mem.Cycles // write-to-read turnaround
+	TRTP           mem.Cycles // read-to-precharge
+	TRP            mem.Cycles // precharge (row close); PCM arrays need no restore but
 	// the interface keeps the DDR3 timing slot
-	TRRDact int // activate-to-activate (different banks)
-	TBurst  int // data burst length in memory cycles (BL8 on DDR = 4)
+	TRRDact mem.Cycles // activate-to-activate (different banks)
+	TBurst  mem.Cycles // data burst length in memory cycles (BL8 on DDR = 4)
 }
 
 // WriteLatency returns the effective cell write time: differential
@@ -128,9 +132,9 @@ type PCMTiming struct {
 func (t PCMTiming) WriteLatency(anySet, anyReset bool) sim.Time {
 	switch {
 	case anySet:
-		return t.CellSET
+		return t.CellSET.Time()
 	case anyReset:
-		return t.CellRESET
+		return t.CellRESET.Time()
 	default:
 		return 0
 	}
@@ -154,7 +158,7 @@ type Memory struct {
 
 	// StatusPollCycles is the cost (memory cycles) of the Status command
 	// that reads the DIMM register's per-chip busy flags (Section IV-D).
-	StatusPollCycles int
+	StatusPollCycles mem.Cycles
 
 	// PowerSlots bounds how many chip-words a rank may program
 	// concurrently (PCM writes are power-hungry; Section III-A2). A
@@ -286,10 +290,10 @@ func Default() *Config {
 			WriteRetryLimit:     3,
 			SpareLines:          64,
 			Timing: PCMTiming{
-				ArrayRead:      sim.NS(60),
-				WriteArrayRead: sim.NS(60),
-				CellSET:        sim.NS(120),
-				CellRESET:      sim.NS(50),
+				ArrayRead:      mem.PicosFromNS(60),
+				WriteArrayRead: mem.PicosFromNS(60),
+				CellSET:        mem.PicosFromNS(120),
+				CellRESET:      mem.PicosFromNS(50),
 				TCL:            5,
 				TWL:            4,
 				TCCD:           4,
@@ -373,21 +377,35 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// Geometry returns the memory shape the address map needs.
+func (m Memory) Geometry() mem.Geometry {
+	return mem.Geometry{
+		Channels:      m.Channels,
+		Banks:         m.BanksPerChip,
+		RowBytes:      m.RowBytes,
+		CapacityBytes: m.CapacityBytes,
+	}
+}
+
 // WriteToReadRatio returns the current cell write-to-read latency ratio
-// (the paper's default is 2x: 120 ns SET over 60 ns read).
+// (the paper's default is 2x: 120 ns SET over 60 ns read). The ratio is
+// taken at engine-tick granularity, the resolution the simulation
+// actually observes.
 func (m Memory) WriteToReadRatio() float64 {
-	return float64(m.Timing.CellSET) / float64(m.Timing.ArrayRead)
+	return float64(m.Timing.CellSET.Time().Ticks()) / float64(m.Timing.ArrayRead.Time().Ticks())
 }
 
 // SetWriteToReadRatio fixes the write latency at its current value and
 // adjusts the read latency so that write/read equals ratio, mirroring
-// the Table III sensitivity study.
+// the Table III sensitivity study. The result is computed in engine
+// ticks and floored, matching the resolution the timing model uses.
 func (m *Memory) SetWriteToReadRatio(ratio float64) {
 	if ratio <= 0 {
 		panic("config: non-positive write-to-read ratio")
 	}
-	m.Timing.ArrayRead = sim.Time(float64(m.Timing.CellSET) / ratio)
-	if m.Timing.ArrayRead < 1 {
-		m.Timing.ArrayRead = 1
+	t := sim.Time(float64(m.Timing.CellSET.Time().Ticks()) / ratio)
+	if t < 1 {
+		t = 1
 	}
+	m.Timing.ArrayRead = mem.PicosOf(t)
 }

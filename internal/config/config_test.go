@@ -3,7 +3,7 @@ package config
 import (
 	"testing"
 
-	"pcmap/internal/sim"
+	"pcmap/internal/mem"
 )
 
 func TestDefaultValidates(t *testing.T) {
@@ -75,10 +75,10 @@ func TestWithVariantCopies(t *testing.T) {
 
 func TestWriteLatencySelection(t *testing.T) {
 	tm := Default().Memory.Timing
-	if got := tm.WriteLatency(true, true); got != tm.CellSET {
+	if got := tm.WriteLatency(true, true); got != tm.CellSET.Time() {
 		t.Fatalf("SET should dominate, got %v", got)
 	}
-	if got := tm.WriteLatency(false, true); got != tm.CellRESET {
+	if got := tm.WriteLatency(false, true); got != tm.CellRESET.Time() {
 		t.Fatalf("RESET-only write, got %v", got)
 	}
 	if got := tm.WriteLatency(false, false); got != 0 {
@@ -93,7 +93,7 @@ func TestWriteToReadRatio(t *testing.T) {
 	}
 	for _, ratio := range []float64{2, 4, 6, 8} {
 		m.SetWriteToReadRatio(ratio)
-		if m.Timing.CellSET != sim.NS(120) {
+		if m.Timing.CellSET != mem.PicosFromNS(120) {
 			t.Fatal("write latency must stay fixed in the Table III sweep")
 		}
 		got := m.WriteToReadRatio()

@@ -100,7 +100,7 @@ func NewController(eng *sim.Engine, cfgAll *config.Config, channel int, amap *me
 		rng:     rng,
 		Metrics: mem.NewMetrics(),
 	}
-	c.dataBus.Turnaround = sim.Time(m.Timing.TWTR) * sim.MemCycle
+	c.dataBus.Turnaround = m.Timing.TWTR.Time()
 	if fc := (pcm.FaultConfig{EnduranceBudget: m.EnduranceBudget, DriftProb: m.DriftProb}); fc.Enabled() {
 		// The fault model owns a private randomness stream derived from
 		// the seed and channel only, so enabling injection never
@@ -170,7 +170,7 @@ func (c *Controller) wearTick() {
 	var end sim.Time
 	for i := 0; i < dimm.Slots; i++ {
 		_, e := c.rank.Chips[i].ReserveProgram(coord.Bank, now,
-			c.cfg.Timing.WriteArrayRead, c.cfg.Timing.CellSET)
+			c.cfg.Timing.WriteArrayRead.Time(), c.cfg.Timing.CellSET.Time())
 		if e > end {
 			end = e
 		}
@@ -412,13 +412,13 @@ func (c *Controller) synthesizeWriteData(lineIdx uint64, mask uint8) *[ecc.LineB
 // command bus and returns the time scheduling may proceed.
 func (c *Controller) statusPollCost(earliest sim.Time) sim.Time {
 	c.Metrics.StatusPolls.Inc()
-	_, end := c.cmdBus.Acquire(earliest, sim.Time(c.cfg.StatusPollCycles)*sim.MemCycle, false)
+	_, end := c.cmdBus.Acquire(earliest, c.cfg.StatusPollCycles.Time(), false)
 	return end
 }
 
 // commandCost charges n command slots on the command/address bus.
 func (c *Controller) commandCost(earliest sim.Time, n int) sim.Time {
-	_, end := c.cmdBus.Acquire(earliest, sim.Time(n)*sim.MemCycle, false)
+	_, end := c.cmdBus.Acquire(earliest, sim.MemCycle.Times(n), false)
 	return end
 }
 

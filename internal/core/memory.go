@@ -30,7 +30,7 @@ func NewMemory(eng *sim.Engine, cfg *config.Config) (*Memory, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	amap, err := mem.NewAddrMap(cfg.Memory)
+	amap, err := mem.NewAddrMap(cfg.Memory.Geometry())
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +80,7 @@ func (m *Memory) CanAccept(kind mem.Kind, addr uint64) bool {
 // reported statistics, mirroring the paper's 200M-instruction warmup.
 func (m *Memory) ResetMetrics() {
 	for _, c := range m.Ctrls {
-		c.Metrics = mem.NewMetrics()
+		c.Metrics.Reset()
 	}
 }
 
@@ -102,7 +102,7 @@ func (m *Memory) IRLP() (avg float64, max int) {
 	for _, c := range m.Ctrls {
 		t := c.Metrics.IRLP
 		t.Finalize(m.Cfg.Memory.DataChips)
-		busy := float64(t.WriteBusyTime())
+		busy := float64(t.WriteBusyTime().Ticks())
 		num += t.Average() * busy
 		den += busy
 		if t.MaxBusy() > max {

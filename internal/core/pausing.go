@@ -43,8 +43,8 @@ func (c *Controller) issuePausingWrite(r *mem.Request) {
 	c.wearTick()
 
 	t := c.commandCost(now, 2)
-	wl := sim.Time(c.cfg.Timing.TWL) * sim.MemCycle
-	burst := sim.Time(c.cfg.Timing.TBurst) * sim.MemCycle
+	wl := c.cfg.Timing.TWL.Time()
+	burst := c.cfg.Timing.TBurst.Time()
 	_, t0 := c.dataBus.Acquire(t, wl+burst, true)
 
 	var prog sim.Time
@@ -72,7 +72,7 @@ func (c *Controller) issuePausingWrite(r *mem.Request) {
 		aw:        aw,
 		coord:     coord,
 		remaining: prog,
-		segment:   (prog + sim.Time(c.cfg.WritePauseSegments) - 1) / sim.Time(c.cfg.WritePauseSegments),
+		segment:   prog.DivCeil(c.cfg.WritePauseSegments),
 	}
 	c.paused = pw
 	if prog > 0 {
@@ -90,7 +90,7 @@ func (c *Controller) resumeSegment(earliest sim.Time, first bool) {
 	}
 	act := sim.Time(0)
 	if first && !c.rowHitAll(baselineChipsMask, pw.coord.Bank, pw.coord.Row) {
-		act = c.cfg.Timing.WriteArrayRead
+		act = c.cfg.Timing.WriteArrayRead.Time()
 	}
 	dur := pw.segment
 	if dur > pw.remaining {

@@ -148,10 +148,10 @@ func (c *Controller) issueRead(r *mem.Request, p readPlan) {
 
 	act := sim.Time(0)
 	if !p.rowHit {
-		act = timing.ArrayRead
+		act = timing.ArrayRead.Time()
 	}
-	ready := start + act + sim.Time(timing.TCL)*sim.MemCycle
-	burst := sim.Time(timing.TBurst) * sim.MemCycle
+	ready := start + act + timing.TCL.Time()
+	burst := timing.TBurst.Time()
 	_, done := c.dataBus.Acquire(ready, burst, false)
 	for _, chip := range involved {
 		c.reserveChip(chip, p.coord.Bank, now, done-now)
@@ -179,7 +179,7 @@ func (c *Controller) issueRead(r *mem.Request, p readPlan) {
 		if chipFreeAt > verifyAt {
 			verifyAt = chipFreeAt
 		}
-		verifyAt += sim.Time(timing.TCL+timing.TBurst) * sim.MemCycle
+		verifyAt += (timing.TCL + timing.TBurst).Time()
 	}
 	c.decodeRead(r, p.coord.LineIdx)
 

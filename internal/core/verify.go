@@ -35,7 +35,7 @@ func (c *Controller) scheduleVerifyRead(r *mem.Request, aw *activeWrite) {
 	// The read-back senses the array and streams through the chip I/O;
 	// rows were just opened by the write, but the array sense is charged
 	// anyway (program pulses disturb the row buffer).
-	dur := timing.ArrayRead + sim.Time(timing.TCL+timing.TBurst)*sim.MemCycle
+	dur := timing.ArrayRead.Time() + (timing.TCL + timing.TBurst).Time()
 	l := c.rank.Layout
 	end := now
 	for w := 0; w < ecc.WordsPerLine; w++ {
@@ -106,7 +106,7 @@ func (c *Controller) reprogram(r *mem.Request, aw *activeWrite, bad uint8) {
 		ch := c.rank.Chips[chip]
 		act := sim.Time(0)
 		if !ch.RowHit(aw.coord.Bank, aw.coord.Row) {
-			act = timing.WriteArrayRead
+			act = timing.WriteArrayRead.Time()
 		}
 		prog := timing.WriteLatency(f.Sets > 0, f.Resets > 0)
 		_, e := ch.ReserveProgram(aw.coord.Bank, now, act, prog)
@@ -176,7 +176,7 @@ func (c *Controller) remapLine(r *mem.Request, aw *activeWrite) {
 	end := now
 	for i := 0; i < dimm.Slots; i++ {
 		_, e := c.rank.Chips[i].ReserveProgram(coord.Bank, now,
-			c.cfg.Timing.WriteArrayRead, c.cfg.Timing.CellSET)
+			c.cfg.Timing.WriteArrayRead.Time(), c.cfg.Timing.CellSET.Time())
 		if e > end {
 			end = e
 		}

@@ -130,14 +130,14 @@ func (c *Controller) issueCoarseWrite(r *mem.Request) {
 	c.wearTick()
 
 	t := c.commandCost(now, 2)
-	wl := sim.Time(c.cfg.Timing.TWL) * sim.MemCycle
-	burst := sim.Time(c.cfg.Timing.TBurst) * sim.MemCycle
+	wl := c.cfg.Timing.TWL.Time()
+	burst := c.cfg.Timing.TBurst.Time()
 	_, t0 := c.dataBus.Acquire(t, wl+burst, true)
 
 	rowHit := c.rowHitAll(baselineChipsMask, coord.Bank, coord.Row)
 	act := sim.Time(0)
 	if !rowHit {
-		act = c.cfg.Timing.WriteArrayRead
+		act = c.cfg.Timing.WriteArrayRead.Time()
 	}
 	// Longest transition among data words and the ECC word sets the
 	// lock-step program time of the whole bank.
@@ -223,7 +223,7 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 		c.Metrics.SilentWrites.Inc()
 		end := start
 		if !c.rowHitAll(l.DataChips(coord.RotIdx), coord.Bank, coord.Row) {
-			dur := c.cfg.Timing.WriteArrayRead
+			dur := c.cfg.Timing.WriteArrayRead.Time()
 			for w := 0; w < ecc.WordsPerLine; w++ {
 				chip := l.DataChip(coord.RotIdx, w)
 				_, e := c.reserveChip(chip, coord.Bank, start, dur)
@@ -263,16 +263,16 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 	// Fine-grained command traffic: one RAS + one CAS per chip job.
 	t := c.commandCost(start, 2*(len(jobs)+2))
 	// Only the essential words cross the data bus (plus code words).
-	wl := sim.Time(c.cfg.Timing.TWL) * sim.MemCycle
-	burstCycles := (essCount + 2 + 7) / 8 * c.cfg.Timing.TBurst
-	_, t0 := c.dataBus.Acquire(t, wl+sim.Time(burstCycles)*sim.MemCycle, true)
+	wl := c.cfg.Timing.TWL.Time()
+	burstCycles := c.cfg.Timing.TBurst.Times((essCount + 2 + 7) / 8)
+	_, t0 := c.dataBus.Acquire(t, wl+burstCycles.Time(), true)
 
 	timing := c.cfg.Timing
 	reserveJob := func(j fineJob, earliest sim.Time) (sim.Time, sim.Time) {
 		chip := c.rank.Chips[j.chip]
 		act := sim.Time(0)
 		if !chip.RowHit(coord.Bank, coord.Row) {
-			act = timing.WriteArrayRead
+			act = timing.WriteArrayRead.Time()
 		}
 		prog := timing.WriteLatency(j.flips.Sets > 0, j.flips.Resets > 0)
 		s, e := chip.ReserveProgram(coord.Bank, earliest, act, prog)

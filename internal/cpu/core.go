@@ -74,7 +74,7 @@ func NewCore(eng *sim.Engine, cfg *config.Config, id int, hier *cache.Hierarchy,
 		gen:        gen,
 		rng:        rng,
 		commitMin:  100 * sim.CPUCycle,
-		commitMean: float64(2000 * sim.CPUCycle),
+		commitMean: float64((2000 * sim.CPUCycle).Ticks()),
 	}
 	hier.SetVerifyHandler(id, c.onVerify)
 	return c
@@ -140,7 +140,7 @@ func (c *Core) onVerify(faulty bool, loadDone sim.Time) {
 		// Committed with bad data: squash and re-execute from the
 		// faulting load (Section IV-B3).
 		c.Rollbacks++
-		c.pendingPenalty += sim.Time(c.cfg.RollbackPen)*sim.CPUCycle + (c.eng.Now() - commitAt)
+		c.pendingPenalty += sim.CPUCycle.Times(c.cfg.RollbackPen) + (c.eng.Now() - commitAt)
 	}
 	// Not yet committed: the controller resends corrected data before
 	// the CPU uses it; no cost.
@@ -173,7 +173,7 @@ func (c *Core) step() {
 			c.haveOp = true
 			// The gap instructions execute at the base CPI.
 			c.instrs += uint64(c.current.Gap)
-			c.now += sim.Time(float64(c.current.Gap) * c.gen.P.BaseCPI * float64(sim.CPUCycle))
+			c.now += sim.CPUCycle.Scale(float64(c.current.Gap) * c.gen.P.BaseCPI)
 		}
 		c.retireCompleted()
 		// Window limit: cannot run more than WindowSize instructions

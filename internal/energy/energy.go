@@ -80,10 +80,10 @@ func (m Model) FromRank(rank *dimm.Rank, met *mem.Metrics) Breakdown {
 // completed write, the quantity differential writes (and silent-store
 // elision) reduce.
 func (m Model) WriteEnergyPerLineUJ(rank *dimm.Rank, met *mem.Metrics) float64 {
-	w := float64(met.Writes.Value())
-	if w == 0 {
+	if met.Writes.Value() == 0 {
 		return 0
 	}
+	w := float64(met.Writes.Value())
 	b := m.FromRank(rank, met)
 	return (b.SetUJ + b.ResetUJ) / w
 }

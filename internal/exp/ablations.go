@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pcmap/internal/config"
+	"pcmap/internal/mem"
 	"pcmap/internal/stats"
 	"pcmap/internal/system"
 )
@@ -46,7 +47,7 @@ func Ablations(r *Runner) (*FigureResult, error) {
 			return nil, err
 		}
 	}
-	for _, cycles := range []int{0, 2, 8} {
+	for _, cycles := range []mem.Cycles{0, 2, 8} {
 		cycles := cycles
 		if err := run("status-poll", fmt.Sprintf("%d cycles", cycles),
 			func(c *config.Config) { c.Memory.StatusPollCycles = cycles },

@@ -40,6 +40,7 @@ func TestRunnerDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//pcmaplint:ignore floatcmp determinism means bit-identical floats, an epsilon would mask regressions
 	if a.IPCSum != b.IPCSum || a.IRLPAvg != b.IRLPAvg ||
 		a.Mem.Reads.Value() != b.Mem.Reads.Value() {
 		t.Fatalf("same spec, different results: IPC %.6f vs %.6f, IRLP %.6f vs %.6f",
@@ -136,6 +137,7 @@ func TestFig1Shape(t *testing.T) {
 func TestFigureResultSeries(t *testing.T) {
 	f := newFigure("x", "t")
 	f.set("row", "col", 1.5)
+	//pcmaplint:ignore floatcmp round-trip of a stored value, no arithmetic between set and get
 	if f.Series["row"]["col"] != 1.5 {
 		t.Fatal("series not recorded")
 	}

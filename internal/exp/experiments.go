@@ -227,7 +227,7 @@ func Fig9(r *Runner, includeAvgMT bool) (*FigureResult, error) {
 	f, err := evalFigure(r, "fig9", "Figure 9: write throughput improvement over baseline",
 		includeAvgMT, overlapVariants, func(p runPair) float64 {
 			b := p.base.Mem.WriteThroughput()
-			if b == 0 {
+			if b <= 0 {
 				return 0
 			}
 			return p.res.Mem.WriteThroughput() / b
@@ -247,7 +247,7 @@ func Fig10(r *Runner, includeAvgMT bool) (*FigureResult, error) {
 	f, err := evalFigure(r, "fig10", "Figure 10: effective read latency (normalized to baseline)",
 		includeAvgMT, overlapVariants, func(p runPair) float64 {
 			b := p.base.Mem.ReadLatency.MeanNS()
-			if b == 0 {
+			if b <= 0 {
 				return 0
 			}
 			return p.res.Mem.ReadLatency.MeanNS() / b
@@ -264,7 +264,7 @@ func Fig10(r *Runner, includeAvgMT bool) (*FigureResult, error) {
 func Fig11(r *Runner, includeAvgMT bool) (*FigureResult, error) {
 	f, err := evalFigure(r, "fig11", "Figure 11: IPC improvement over baseline",
 		includeAvgMT, overlapVariants, func(p runPair) float64 {
-			if p.base.IPCSum == 0 {
+			if p.base.IPCSum <= 0 {
 				return 0
 			}
 			return p.res.IPCSum/p.base.IPCSum - 1
@@ -470,7 +470,7 @@ func Pausing(r *Runner) (*FigureResult, error) {
 		pause := r.MustRun(Spec{Workload: n, Variant: config.Baseline, WritePausing: true})
 		pcmap := r.MustRun(Spec{Workload: n, Variant: config.RWoWRDE})
 		bl := base.Mem.ReadLatency.MeanNS()
-		if bl == 0 || base.IPCSum == 0 {
+		if bl <= 0 || base.IPCSum <= 0 {
 			continue
 		}
 		f.set(n, "pausingReadLat", pause.Mem.ReadLatency.MeanNS()/bl)

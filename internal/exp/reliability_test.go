@@ -22,7 +22,7 @@ func TestReliabilitySweep(t *testing.T) {
 	// must actually inject and handle faults — otherwise the sweep is
 	// vacuous at these budgets.
 	clean := reliabilityPoints[0].label()
-	if f.Series[clean]["injStuck"] != 0 || f.Series[clean]["injDrift"] != 0 {
+	if f.Series[clean]["injStuck"] > 0 || f.Series[clean]["injDrift"] > 0 {
 		t.Fatalf("clean point injected faults: %v", f.Series[clean])
 	}
 	var injected, handled float64
@@ -32,10 +32,10 @@ func TestReliabilitySweep(t *testing.T) {
 		handled += s["secdedCorrected"] + s["pccRecovered"] + s["uncorrected"] +
 			s["retries"] + s["remaps"]
 	}
-	if injected == 0 {
+	if injected <= 0 {
 		t.Fatal("sweep injected no faults at any point")
 	}
-	if handled == 0 {
+	if handled <= 0 {
 		t.Fatal("sweep handled no faults at any point")
 	}
 }
@@ -46,12 +46,14 @@ func TestReliabilitySweep(t *testing.T) {
 func TestReliabilitySpecZeroPerturbation(t *testing.T) {
 	r := testRunner()
 	cfg := r.configFor(Spec{Workload: "MP4", Variant: config.RWoWRDE})
+	//pcmaplint:ignore floatcmp DriftProb is assigned, never computed; the default must be exactly zero
 	if cfg.Memory.EnduranceBudget != 0 || cfg.Memory.DriftProb != 0 || cfg.Memory.VerifyWrites {
 		t.Fatalf("default spec sets fault knobs: budget=%d drift=%g verify=%v",
 			cfg.Memory.EnduranceBudget, cfg.Memory.DriftProb, cfg.Memory.VerifyWrites)
 	}
 	cfg = r.configFor(Spec{Workload: "MP4", Variant: config.RWoWRDE,
 		EnduranceBudget: 9, DriftProb: 1e-3, VerifyWrites: true})
+	//pcmaplint:ignore floatcmp DriftProb is assigned, never computed; the knob must round-trip exactly
 	if cfg.Memory.EnduranceBudget != 9 || cfg.Memory.DriftProb != 1e-3 || !cfg.Memory.VerifyWrites {
 		t.Fatal("fault knobs not mapped into the memory config")
 	}

@@ -4,8 +4,18 @@ import (
 	"fmt"
 	"math/bits"
 
-	"pcmap/internal/config"
+	"pcmap/internal/ecc"
 )
+
+// Geometry is the memory shape the address map needs. It lives here
+// (rather than taking config.Memory directly) so that config can
+// depend on this package's unit types without an import cycle.
+type Geometry struct {
+	Channels      int
+	Banks         int
+	RowBytes      int64
+	CapacityBytes int64
+}
 
 // AddrMap decodes line-aligned physical addresses into the DDR3
 // topology coordinates of Table I. The bit layout, low to high, is
@@ -26,21 +36,21 @@ type AddrMap struct {
 }
 
 // NewAddrMap builds the mapping for the given memory geometry.
-func NewAddrMap(m config.Memory) (*AddrMap, error) {
-	a := &AddrMap{Channels: m.Channels, Banks: m.BanksPerChip}
-	if m.Channels&(m.Channels-1) != 0 || m.BanksPerChip&(m.BanksPerChip-1) != 0 {
-		return nil, fmt.Errorf("mem: channels (%d) and banks (%d) must be powers of two", m.Channels, m.BanksPerChip)
+func NewAddrMap(g Geometry) (*AddrMap, error) {
+	a := &AddrMap{Channels: g.Channels, Banks: g.Banks}
+	if g.Channels&(g.Channels-1) != 0 || g.Banks&(g.Banks-1) != 0 {
+		return nil, fmt.Errorf("mem: channels (%d) and banks (%d) must be powers of two", g.Channels, g.Banks)
 	}
-	a.chBits = bits.TrailingZeros(uint(m.Channels))
-	a.bankBits = bits.TrailingZeros(uint(m.BanksPerChip))
-	a.linesPerRow = int(m.RowBytes / config.LineBytes)
+	a.chBits = bits.TrailingZeros(uint(g.Channels))
+	a.bankBits = bits.TrailingZeros(uint(g.Banks))
+	a.linesPerRow = int(g.RowBytes / ecc.LineBytes)
 	if a.linesPerRow <= 0 || a.linesPerRow&(a.linesPerRow-1) != 0 {
 		return nil, fmt.Errorf("mem: lines per row %d must be a positive power of two", a.linesPerRow)
 	}
 	a.colBits = bits.TrailingZeros(uint(a.linesPerRow))
-	a.rows = m.CapacityBytes / (int64(m.Channels) * int64(m.BanksPerChip) * m.RowBytes)
+	a.rows = g.CapacityBytes / (int64(g.Channels) * int64(g.Banks) * g.RowBytes)
 	if a.rows <= 0 {
-		return nil, fmt.Errorf("mem: capacity %d too small for geometry", m.CapacityBytes)
+		return nil, fmt.Errorf("mem: capacity %d too small for geometry", g.CapacityBytes)
 	}
 	return a, nil
 }

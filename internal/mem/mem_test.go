@@ -4,12 +4,18 @@ import (
 	"testing"
 	"testing/quick"
 
-	"pcmap/internal/config"
 	"pcmap/internal/sim"
 )
 
+// defaultGeometry mirrors config.Default().Memory's shape (Table I).
+// Spelled out locally because mem cannot import config: config depends
+// on this package for its unit types.
+func defaultGeometry() Geometry {
+	return Geometry{Channels: 4, Banks: 8, RowBytes: 8 << 10, CapacityBytes: 8 << 30}
+}
+
 func TestAddrMapRoundTrip(t *testing.T) {
-	a, err := NewAddrMap(config.Default().Memory)
+	a, err := NewAddrMap(defaultGeometry())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +29,7 @@ func TestAddrMapRoundTrip(t *testing.T) {
 }
 
 func TestAddrMapChannelInterleave(t *testing.T) {
-	a, _ := NewAddrMap(config.Default().Memory)
+	a, _ := NewAddrMap(defaultGeometry())
 	for i := uint64(0); i < 16; i++ {
 		c := a.Decode(i * 64)
 		if c.Channel != int(i%4) {
@@ -33,7 +39,7 @@ func TestAddrMapChannelInterleave(t *testing.T) {
 }
 
 func TestAddrMapRowLocality(t *testing.T) {
-	a, _ := NewAddrMap(config.Default().Memory)
+	a, _ := NewAddrMap(defaultGeometry())
 	// Consecutive channel-local lines (stride = 4 lines) share a row
 	// until the column bits wrap.
 	base := a.Decode(0)
@@ -53,7 +59,7 @@ func TestAddrMapRowLocality(t *testing.T) {
 }
 
 func TestAddrMapRotIdxStrides(t *testing.T) {
-	a, _ := NewAddrMap(config.Default().Memory)
+	a, _ := NewAddrMap(defaultGeometry())
 	// Successive channel-local lines must get successive rotation
 	// indices so all 8 (and 10) rotation offsets occur.
 	seen8 := map[uint64]bool{}
@@ -69,7 +75,7 @@ func TestAddrMapRotIdxStrides(t *testing.T) {
 }
 
 func TestAddrMapUniqueLineIdx(t *testing.T) {
-	a, _ := NewAddrMap(config.Default().Memory)
+	a, _ := NewAddrMap(defaultGeometry())
 	seen := map[uint64]uint64{}
 	for i := uint64(0); i < 100000; i++ {
 		addr := i * 64
@@ -83,9 +89,9 @@ func TestAddrMapUniqueLineIdx(t *testing.T) {
 }
 
 func TestAddrMapRejectsBadGeometry(t *testing.T) {
-	m := config.Default().Memory
-	m.Channels = 3
-	if _, err := NewAddrMap(m); err == nil {
+	g := defaultGeometry()
+	g.Channels = 3
+	if _, err := NewAddrMap(g); err == nil {
 		t.Fatal("non-power-of-two channels should be rejected")
 	}
 }

@@ -1,0 +1,45 @@
+package mem
+
+import "pcmap/internal/sim"
+
+// This file defines the defined ("unit") types the simulator uses for
+// quantities that are *not* simulated time: memory-bus clock cycles and
+// raw picoseconds. Mixing them with sim.Time through bare conversions
+// is exactly the class of bug (a cycles-vs-nanoseconds mixup) that
+// silently invalidates every experiment, so the pcmaplint unitsafe
+// analyzer bans cross-unit conversions outside the defining packages.
+// Conversions happen only through the methods below.
+
+// Cycles counts cycles of the 400 MHz DDR3 memory clock, the unit the
+// paper's Table I command timings (tCL, tWL, tBurst, ...) are quoted
+// in. It is a count, not a duration: convert with Time() before adding
+// to any sim.Time quantity.
+type Cycles int
+
+// Time converts the cycle count to simulated time (2.5 ns per cycle).
+func (c Cycles) Time() sim.Time { return sim.MemCycle.Times(int(c)) }
+
+// Times returns the cycle count scaled by n (e.g. burst cycles per
+// transferred word group).
+func (c Cycles) Times(n int) Cycles { return c * Cycles(n) }
+
+// Int returns the raw count for indexing and formatting.
+func (c Cycles) Int() int { return int(c) }
+
+// Picos is a duration in picoseconds, the unit PCM cell timings are
+// quoted in by the device literature. sim.Time ticks are 100 ps, so a
+// Picos value is 100x finer than the engine's clock; Time() truncates
+// to whole ticks.
+type Picos int64
+
+// PicosFromNS returns a Picos duration of ns nanoseconds.
+func PicosFromNS(ns float64) Picos { return Picos(ns * 1e3) }
+
+// PicosOf converts simulated time to picoseconds exactly.
+func PicosOf(t sim.Time) Picos { return Picos(t.Ticks() * 100) }
+
+// Time converts to simulated time, truncating to a whole 100 ps tick.
+func (p Picos) Time() sim.Time { return sim.Time(p / 100) }
+
+// NS reports the duration as a floating point number of nanoseconds.
+func (p Picos) NS() float64 { return float64(p) / 1e3 }

@@ -49,8 +49,8 @@ func New(cfg config.NoC) *Mesh {
 	return &Mesh{
 		rows:      cfg.Rows,
 		cols:      cfg.Cols,
-		router:    sim.Time(cfg.RouterCycles) * sim.CPUCycle,
-		link:      sim.Time(cfg.LinkCycles) * sim.CPUCycle,
+		router:    sim.CPUCycle.Times(cfg.RouterCycles),
+		link:      sim.CPUCycle.Times(cfg.LinkCycles),
 		flitBytes: cfg.FlitBytes,
 		linkFree:  make([]sim.Time, cfg.Rows*cfg.Cols*numDirs),
 	}
@@ -106,7 +106,7 @@ func (m *Mesh) Send(from, to int, bytes int, depart sim.Time) sim.Time {
 	if flits < 1 {
 		flits = 1
 	}
-	serialization := sim.Time(flits-1) * m.link
+	serialization := m.link.Times(flits - 1)
 	t := depart
 	hops := 0
 	m.route(from, to, func(node, dir int) {
@@ -131,7 +131,7 @@ func (m *Mesh) Latency(from, to int, bytes int) sim.Time {
 	if flits < 1 {
 		flits = 1
 	}
-	return sim.Time(hops)*(m.router+m.link) + sim.Time(flits-1)*m.link
+	return (m.router + m.link).Times(hops) + m.link.Times(flits-1)
 }
 
 // CoreNode maps core i to its mesh node (cores fill the mesh row-major).

@@ -1,0 +1,32 @@
+package sim
+
+// Unit-safe accessors and arithmetic helpers for Time. The pcmaplint
+// unitsafe analyzer bans ad-hoc conversions between unit-typed
+// quantities (and products of two unit-typed values) outside this
+// package; these methods are the sanctioned spellings, so every
+// cycles-vs-ticks-vs-seconds crossing is explicit and auditable.
+
+// Ticks returns the raw tick count (units of 100 ps). It exists for
+// serialization paths that must store the value verbatim; arithmetic
+// should stay in Time.
+func (t Time) Ticks() int64 { return int64(t) }
+
+// Microseconds reports t as a floating point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Times returns n repetitions of the duration t (e.g.
+// sim.CPUCycle.Times(hitCycles)). This is the unit-safe replacement for
+// the Time(n) * duration idiom, which multiplies two Time values.
+func (t Time) Times(n int) Time { return t * Time(n) }
+
+// Scale returns t scaled by f, truncated toward zero to a whole tick.
+func (t Time) Scale(f float64) Time { return Time(float64(t) * f) }
+
+// DivCeil splits t into n equal slices and returns the slice length,
+// rounded up to a whole tick. It panics if n is not positive.
+func (t Time) DivCeil(n int) Time {
+	if n <= 0 {
+		panic("sim: DivCeil with non-positive n")
+	}
+	return (t + Time(n) - 1) / Time(n)
+}

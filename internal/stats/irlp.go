@@ -83,7 +83,7 @@ func (x *IRLP) Finalize(maxChips int) {
 			if c > maxChips {
 				c = maxChips
 			}
-			integral += float64(dt) * float64(c)
+			integral += float64(dt.Ticks()) * float64(c)
 			if c > x.maxBusy {
 				x.maxBusy = c
 			}
@@ -94,7 +94,7 @@ func (x *IRLP) Finalize(maxChips int) {
 	}
 	x.busyTime = busy
 	if busy > 0 {
-		x.avg = integral / float64(busy)
+		x.avg = integral / float64(busy.Ticks())
 	}
 	x.deltas = nil
 }

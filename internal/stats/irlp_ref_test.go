@@ -50,7 +50,7 @@ func refIRLP(writes, chips [][2]sim.Time, maxChips int) (avg float64, busy sim.T
 		}
 	}
 	if busy > 0 {
-		avg = integral / float64(busy)
+		avg = integral / float64(busy.Ticks())
 	}
 	return avg, busy, maxBusy
 }

@@ -9,6 +9,14 @@ import (
 	"pcmap/internal/sim"
 )
 
+// approx compares floats the way the floatcmp analyzer demands even in
+// tests: the expected values here are exactly representable, but the
+// epsilon keeps the assertions robust to refactorings that reassociate
+// the arithmetic.
+func approx(got, want float64) bool {
+	return math.Abs(got-want) <= 1e-9
+}
+
 func TestHistogramBasics(t *testing.T) {
 	h := NewHistogram(9)
 	for i := 0; i < 5; i++ {
@@ -20,13 +28,13 @@ func TestHistogramBasics(t *testing.T) {
 	if h.Total() != 10 || h.Count(1) != 5 || h.Count(4) != 5 {
 		t.Fatalf("histogram counts wrong: %v", h.Buckets())
 	}
-	if h.Fraction(1) != 0.5 {
+	if !approx(h.Fraction(1), 0.5) {
 		t.Fatalf("fraction %v", h.Fraction(1))
 	}
-	if h.MeanValue() != 2.5 {
+	if !approx(h.MeanValue(), 2.5) {
 		t.Fatalf("mean %v", h.MeanValue())
 	}
-	if h.CumulativeFraction(3) != 0.5 {
+	if !approx(h.CumulativeFraction(3), 0.5) {
 		t.Fatalf("cumulative %v", h.CumulativeFraction(3))
 	}
 }
@@ -57,7 +65,7 @@ func TestLatencyTracker(t *testing.T) {
 	if got := l.PercentileNS(99); got < 98 || got > 100 {
 		t.Fatalf("p99 %v", got)
 	}
-	if l.MaxNS() != 100 {
+	if !approx(l.MaxNS(), 100) {
 		t.Fatalf("max %v", l.MaxNS())
 	}
 }
@@ -117,7 +125,7 @@ func TestIRLPClampsToMaxChips(t *testing.T) {
 		x.AddChipService(0, 100)
 	}
 	x.Finalize(8)
-	if got := x.Average(); got != 8 {
+	if got := x.Average(); !approx(got, 8) {
 		t.Fatalf("IRLP %v, want clamp at 8", got)
 	}
 }
@@ -176,16 +184,16 @@ func TestMeans(t *testing.T) {
 	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
 		t.Fatalf("geomean %v", got)
 	}
-	if got := ArithMean([]float64{1, 2, 3}); got != 2 {
+	if got := ArithMean([]float64{1, 2, 3}); !approx(got, 2) {
 		t.Fatalf("arithmean %v", got)
 	}
-	if GeoMean(nil) != 0 || ArithMean(nil) != 0 {
+	if !approx(GeoMean(nil), 0) || !approx(ArithMean(nil), 0) {
 		t.Fatal("empty input should give 0")
 	}
 	var m Mean
 	m.Add(10)
 	m.Add(20)
-	if m.Value() != 15 || m.Count() != 2 {
+	if !approx(m.Value(), 15) || m.Count() != 2 {
 		t.Fatalf("mean %v/%d", m.Value(), m.Count())
 	}
 }

@@ -52,7 +52,7 @@ func (t *Writer) Write(r Record) error {
 		t.wrote = true
 	}
 	var buf [recordBytes]byte
-	binary.LittleEndian.PutUint64(buf[0:], uint64(r.At))
+	binary.LittleEndian.PutUint64(buf[0:], uint64(r.At.Ticks()))
 	binary.LittleEndian.PutUint64(buf[8:], r.Addr)
 	buf[16] = byte(r.Kind)
 	buf[17] = r.Mask

@@ -22,7 +22,7 @@ func sampleRecords(n int) []Record {
 			mask = uint8(rng.Uint64())
 		}
 		out[i] = Record{
-			At:   sim.Time(i) * sim.NS(20),
+			At:   sim.NS(20).Times(i),
 			Addr: uint64(rng.Intn(1<<20)) * 64,
 			Kind: kind,
 			Mask: mask,
@@ -146,7 +146,7 @@ func TestReplayIsVariantComparable(t *testing.T) {
 			mask = 0
 		}
 		recs = append(recs, Record{
-			At:   sim.Time(i) * sim.NS(14),
+			At:   sim.NS(14).Times(i),
 			Addr: uint64(rng.Intn(1<<16)) * 64,
 			Kind: kind,
 			Mask: mask,

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Lint entry point, shared by `make lint` and CI.
+#
+# Always runs:
+#   go vet        — the standard vet checks
+#   pcmaplint     — the project's custom analyzers (determinism, unit
+#                   safety, metrics lifecycle, typed errors, float
+#                   comparisons); see DESIGN.md "Simulator invariants"
+#
+# Runs when installed (CI installs pinned versions; locally they are
+# optional because this repository builds offline with no dependencies
+# beyond the Go toolchain):
+#   staticcheck
+#   govulncheck
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '>> go vet'
+go vet ./...
+
+echo '>> pcmaplint'
+# pcmaplint runs go vet itself by default; -vet=false avoids doing it twice.
+go run ./cmd/pcmaplint -vet=false ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+	echo '>> staticcheck'
+	staticcheck ./...
+else
+	echo '>> staticcheck not installed; skipping (CI runs it)'
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+	echo '>> govulncheck'
+	govulncheck ./...
+else
+	echo '>> govulncheck not installed; skipping (CI runs it)'
+fi
+
+echo 'lint OK'
