@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint figures
+.PHONY: build test race lint figures bench bench-check profile
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,19 @@ lint:
 # for full-scale runs).
 figures:
 	$(GO) run ./cmd/pcmapsim -exp headline
+
+# Run the hot-path benchmark suite and rewrite BENCH_3.json's
+# "current" section (set BENCHTIME=10s for publication-grade numbers).
+bench:
+	sh scripts/bench.sh
+
+# Same suite, but fail on allocs/op regressions against the committed
+# ledger instead of rewriting it. CI runs this.
+bench-check:
+	sh scripts/bench.sh -check
+
+# Capture CPU and heap profiles of a full figure regeneration; inspect
+# with `go tool pprof cpu.prof` (see DESIGN.md §8).
+profile:
+	$(GO) run ./cmd/pcmapsim -exp fig8 -cpuprofile cpu.prof -memprofile mem.prof
+	@echo 'wrote cpu.prof and mem.prof; open with: go tool pprof cpu.prof'

@@ -289,6 +289,7 @@ func BenchmarkSECDEDEncode(b *testing.B) {
 	for i := range words {
 		words[i] = rng.Uint64()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sink uint8
 	for i := 0; i < b.N; i++ {
@@ -301,11 +302,31 @@ func BenchmarkSECDEDEncode(b *testing.B) {
 func BenchmarkSECDEDCorrect(b *testing.B) {
 	data := uint64(0x0123456789abcdef)
 	check := ecc.Encode64(data)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		corrupt := data ^ (1 << uint(i&63))
 		if got, _ := ecc.Check64(corrupt, check); got != data {
 			b.Fatal("correction failed")
+		}
+	}
+}
+
+// BenchmarkSECDEDDecodeClean measures the fault-free decode path — the
+// common case on every memory read when fault injection is off.
+func BenchmarkSECDEDDecodeClean(b *testing.B) {
+	rng := sim.NewRNG(2)
+	words := make([]uint64, 1024)
+	checks := make([]uint8, 1024)
+	for i := range words {
+		words[i] = rng.Uint64()
+		checks[i] = ecc.Encode64(words[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, st := ecc.Check64(words[i&1023], checks[i&1023]); st != ecc.OK {
+			b.Fatal("clean word flagged")
 		}
 	}
 }
@@ -318,12 +339,30 @@ func BenchmarkPCCReconstruct(b *testing.B) {
 		line[i] = byte(rng.Uint64())
 	}
 	pcc := ecc.PCCLine(&line)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sink uint64
 	for i := 0; i < b.N; i++ {
 		sink ^= ecc.ReconstructWord(&line, i&7, pcc)
 	}
 	_ = sink
+}
+
+// BenchmarkPCCUpdate measures the incremental parity update issued on
+// every single-word write.
+func BenchmarkPCCUpdate(b *testing.B) {
+	rng := sim.NewRNG(4)
+	var pcc [8]byte
+	for i := range pcc {
+		pcc[i] = byte(rng.Uint64())
+	}
+	oldWord, newWord := rng.Uint64(), rng.Uint64()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pcc = ecc.UpdatePCC(pcc, oldWord, newWord)
+	}
+	_ = pcc
 }
 
 // BenchmarkEngine measures raw event throughput of the simulator core.
@@ -337,9 +376,64 @@ func BenchmarkEngine(b *testing.B) {
 			eng.Schedule(sim.MemCycle, tick)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	eng.Schedule(0, tick)
 	eng.Run()
+}
+
+// BenchmarkEngineTimer measures the pre-bound recurring-callback path
+// every per-cycle component loop uses; steady state must not allocate.
+func BenchmarkEngineTimer(b *testing.B) {
+	eng := sim.NewEngine()
+	n := 0
+	var tm *sim.Timer
+	tm = eng.NewTimer(func() {
+		n++
+		if n < b.N {
+			tm.Schedule(sim.MemCycle)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	tm.Schedule(0)
+	eng.Run()
+}
+
+// BenchmarkRNGUint64 measures the SplitMix64 core every stochastic
+// decision in the workload generators draws from.
+func BenchmarkRNGUint64(b *testing.B) {
+	rng := sim.NewRNG(6)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= rng.Uint64()
+	}
+	_ = sink
+}
+
+// BenchmarkRNGExp measures exponential inter-arrival sampling.
+func BenchmarkRNGExp(b *testing.B) {
+	rng := sim.NewRNG(7)
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += rng.Exp(100)
+	}
+	_ = sink
+}
+
+// BenchmarkRNGPick measures weighted choice over a Table II-sized
+// category distribution.
+func BenchmarkRNGPick(b *testing.B) {
+	rng := sim.NewRNG(8)
+	weights := []float64{0.35, 0.25, 0.15, 0.10, 0.08, 0.05, 0.02}
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += rng.Pick(weights)
+	}
+	_ = sink
 }
 
 // BenchmarkControllerRequests measures end-to-end requests/second
@@ -352,6 +446,7 @@ func BenchmarkControllerRequests(b *testing.B) {
 		b.Fatal(err)
 	}
 	rng := sim.NewRNG(5)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		addr := uint64(rng.Intn(1<<20)) * 64

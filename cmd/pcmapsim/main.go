@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pcmap/internal/config"
@@ -38,8 +40,24 @@ func main() {
 		endurance = flag.Uint64("endurance", 0, "adhoc: write-endurance budget before cells stick (0 = perfect cells)")
 		drift     = flag.Float64("drift", 0, "adhoc: per-read drift bit-flip probability")
 		verify    = flag.Bool("verify", false, "adhoc: enable the program-and-verify write path")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer writeHeapProfile(*memProf)
+	}
 
 	if *format != "md" && *format != "csv" {
 		fatal(fmt.Errorf("invalid -format %q (want md or csv)", *format))
@@ -59,6 +77,9 @@ func main() {
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
+	// Sweep throughput summary: stderr only, so stdout (figures, tables,
+	// JSON series) stays a pure function of config and seed.
+	defer printAggregate(r)
 
 	if *expName == "adhoc" {
 		if err := runAdhoc(r, adhocOpts{
@@ -201,6 +222,34 @@ func runAdhoc(r *exp.Runner, o adhocOpts) error {
 	}
 	fmt.Printf("energy            %s\n", res.Energy)
 	return nil
+}
+
+// printAggregate emits the one-line sweep throughput summary to stderr.
+func printAggregate(r *exp.Runner) {
+	sims, events, wall := r.Totals()
+	if sims == 0 {
+		return
+	}
+	rate := 0.0
+	if wall > 0 {
+		rate = float64(events) / wall.Seconds()
+	}
+	fmt.Fprintf(os.Stderr, "pcmapsim: %d sims, %d events, %.1fM events/sec per sim thread\n",
+		sims, events, rate/1e6)
+}
+
+// writeHeapProfile snapshots the heap at exit for -memprofile.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcmapsim: memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "pcmapsim: memprofile:", err)
+	}
 }
 
 func fatal(err error) {

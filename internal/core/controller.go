@@ -57,6 +57,8 @@ type Controller struct {
 	spareNext int
 
 	kicked       bool
+	runTimer     *sim.Timer // pre-bound run: the issue loop re-arms allocation-free
+	kickTimer    *sim.Timer // pre-bound kick, for chip-release wakeups
 	readWaiters  []func()
 	writeWaiters []func()
 
@@ -100,6 +102,8 @@ func NewController(eng *sim.Engine, cfgAll *config.Config, channel int, amap *me
 		rng:     rng,
 		Metrics: mem.NewMetrics(),
 	}
+	c.runTimer = eng.NewTimer(c.run)
+	c.kickTimer = eng.NewTimer(c.kick)
 	c.dataBus.Turnaround = m.Timing.TWTR.Time()
 	if fc := (pcm.FaultConfig{EnduranceBudget: m.EnduranceBudget, DriftProb: m.DriftProb}); fc.Enabled() {
 		// The fault model owns a private randomness stream derived from
@@ -177,7 +181,7 @@ func (c *Controller) wearTick() {
 	}
 	// The copy holds chips without a request completion behind it, so
 	// wake the scheduler when the chips free up.
-	c.eng.At(end, c.kick)
+	c.kickTimer.At(end)
 }
 
 // Rank exposes the controller's rank (for tests and wear reporting).
@@ -242,7 +246,7 @@ func (c *Controller) kick() {
 		return
 	}
 	c.kicked = true
-	c.eng.Schedule(0, c.run)
+	c.runTimer.Schedule(0)
 }
 
 func (c *Controller) run() {

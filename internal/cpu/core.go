@@ -37,6 +37,10 @@ type Core struct {
 
 	budget uint64 // instruction budget; a zero budget finishes immediately
 
+	// stepTimer re-arms the scheduling loop; pre-binding step once
+	// means the per-cycle wakeups on the hot path allocate nothing.
+	stepTimer *sim.Timer
+
 	now     sim.Time // local clock, >= engine time when running
 	instrs  uint64
 	pending []load // in program order
@@ -76,6 +80,7 @@ func NewCore(eng *sim.Engine, cfg *config.Config, id int, hier *cache.Hierarchy,
 		commitMin:  100 * sim.CPUCycle,
 		commitMean: float64((2000 * sim.CPUCycle).Ticks()),
 	}
+	c.stepTimer = eng.NewTimer(c.step)
 	hier.SetVerifyHandler(id, c.onVerify)
 	return c
 }
@@ -86,7 +91,7 @@ func (c *Core) Start(budget uint64, onFinish func()) {
 	c.budget = budget
 	c.onFinish = onFinish
 	c.now = c.eng.Now()
-	c.eng.Schedule(0, c.step)
+	c.stepTimer.Schedule(0)
 }
 
 // Continue extends a finished core's budget by extra instructions
@@ -95,7 +100,7 @@ func (c *Core) Continue(extra uint64, onFinish func()) {
 	c.budget += extra
 	c.finished = false
 	c.onFinish = onFinish
-	c.eng.Schedule(0, c.step)
+	c.stepTimer.Schedule(0)
 }
 
 // Instructions returns the retired instruction count.
@@ -203,7 +208,7 @@ func (c *Core) step() {
 		c.haveOp = false
 	}
 	// Quantum boundary: yield to the rest of the system.
-	c.eng.At(c.now, c.step)
+	c.stepTimer.At(c.now)
 }
 
 // retireCompleted drops loads whose completion time has passed.
@@ -299,7 +304,7 @@ func (c *Core) fillArrived(seq uint64) {
 	c.markDone(seq, c.eng.Now())
 	if c.waitingFill {
 		c.waitingFill = false
-		c.eng.Schedule(0, c.step)
+		c.stepTimer.Schedule(0)
 	}
 }
 
@@ -330,7 +335,7 @@ func (c *Core) waitUnstall() {
 	c.waitingUnstall = true
 	c.hier.OnUnstall(func() {
 		c.waitingUnstall = false
-		c.eng.Schedule(0, c.step)
+		c.stepTimer.Schedule(0)
 	})
 }
 

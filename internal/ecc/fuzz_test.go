@@ -19,6 +19,12 @@ func FuzzSECDEDRoundTrip(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data uint64, posA, posB uint8) {
 		check := Encode64(data)
 
+		// The table-driven encoder must agree with the retained scalar
+		// reference on every fuzzed word.
+		if ref := encode64Ref(data); check != ref {
+			t.Fatalf("Encode64(%#x) = %#08b, scalar reference %#08b", data, check, ref)
+		}
+
 		// flip applies one bit error: positions 0-63 hit the data word,
 		// 64-71 hit the stored check byte.
 		flip := func(d uint64, c uint8, pos uint8) (uint64, uint8) {
@@ -49,6 +55,13 @@ func FuzzSECDEDRoundTrip(f *testing.F) {
 			t.Fatalf("single check-bit error at %d: status %v", posA%72, st)
 		}
 
+		// The table-driven decoder must agree with the scalar reference
+		// on the corrupted word too.
+		if refD, refS := check64Ref(d1, c1); got != refD || st != refS {
+			t.Fatalf("Check64 single @%d: table (%#x,%v) != scalar reference (%#x,%v)",
+				posA%72, got, st, refD, refS)
+		}
+
 		// Two distinct errors: must be detected, and never silently
 		// returned as a clean or "corrected" word.
 		if posA%72 == posB%72 {
@@ -58,6 +71,12 @@ func FuzzSECDEDRoundTrip(f *testing.F) {
 		if _, st := Check64(d2, c2); st != DetectedDouble {
 			t.Fatalf("double error at %d,%d: status %v (want detected-double)",
 				posA%72, posB%72, st)
+		}
+		if g1, s1 := Check64(d2, c2); true {
+			if g2, s2 := check64Ref(d2, c2); g1 != g2 || s1 != s2 {
+				t.Fatalf("Check64 double @%d,%d: table (%#x,%v) != scalar reference (%#x,%v)",
+					posA%72, posB%72, g1, s1, g2, s2)
+			}
 		}
 
 		// Sanity: the injected double really differs in exactly two

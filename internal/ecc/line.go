@@ -34,7 +34,23 @@ func EncodeLine(line *[LineBytes]byte) [WordsPerLine]byte {
 // PCCLine computes the XOR parity word of a line's eight data words;
 // this is what the PCC chip stores. Laid out as 8 bytes so each byte
 // lane of the x8 PCC chip carries the parity of the matching byte lanes.
+//
+// XOR is bytewise, so folding the line as eight uint64 loads is
+// bit-identical to the bytewise scalar form (pccLineRef) at an eighth
+// of the loop iterations.
 func PCCLine(line *[LineBytes]byte) [WordBytes]byte {
+	var acc uint64
+	for w := 0; w < WordsPerLine; w++ {
+		acc ^= binary.LittleEndian.Uint64(line[w*WordBytes:])
+	}
+	var out [WordBytes]byte
+	binary.LittleEndian.PutUint64(out[:], acc)
+	return out
+}
+
+// pccLineRef is the original bytewise implementation, retained as the
+// reference oracle for the equivalence tests.
+func pccLineRef(line *[LineBytes]byte) [WordBytes]byte {
 	var out [WordBytes]byte
 	for w := 0; w < WordsPerLine; w++ {
 		for b := 0; b < WordBytes; b++ {
@@ -49,13 +65,10 @@ func PCCLine(line *[LineBytes]byte) [WordBytes]byte {
 // one) — the controller uses this so a single-word write needs only the
 // old word, the new word, and the old parity.
 func UpdatePCC(pcc [WordBytes]byte, oldWord, newWord uint64) [WordBytes]byte {
-	var ob, nb [WordBytes]byte
-	binary.LittleEndian.PutUint64(ob[:], oldWord)
-	binary.LittleEndian.PutUint64(nb[:], newWord)
-	for b := 0; b < WordBytes; b++ {
-		pcc[b] ^= ob[b] ^ nb[b]
-	}
-	return pcc
+	acc := binary.LittleEndian.Uint64(pcc[:]) ^ oldWord ^ newWord
+	var out [WordBytes]byte
+	binary.LittleEndian.PutUint64(out[:], acc)
+	return out
 }
 
 // ReconstructWord rebuilds the data word at index missing by XOR-ing the
@@ -63,6 +76,19 @@ func UpdatePCC(pcc [WordBytes]byte, oldWord, newWord uint64) [WordBytes]byte {
 // read path: the chip holding `missing` is busy with a write and its
 // word is recovered "as if the chip were faulty" (Section IV-B).
 func ReconstructWord(line *[LineBytes]byte, missing int, pcc [WordBytes]byte) uint64 {
+	acc := binary.LittleEndian.Uint64(pcc[:])
+	for w := 0; w < WordsPerLine; w++ {
+		if w == missing {
+			continue
+		}
+		acc ^= binary.LittleEndian.Uint64(line[w*WordBytes:])
+	}
+	return acc
+}
+
+// reconstructWordRef is the original bytewise implementation, retained
+// as the reference oracle for the equivalence tests.
+func reconstructWordRef(line *[LineBytes]byte, missing int, pcc [WordBytes]byte) uint64 {
 	acc := pcc
 	for w := 0; w < WordsPerLine; w++ {
 		if w == missing {

@@ -1,0 +1,156 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcmap/internal/sim"
+)
+
+// flipAt applies one bit error to a (data, check) pair: codeword
+// positions 0-63 hit the data word, 64-71 hit the stored check byte.
+func flipAt(d uint64, c uint8, pos int) (uint64, uint8) {
+	if pos < 64 {
+		return d ^ 1<<uint(pos), c
+	}
+	return d, c ^ 1<<uint(pos-64)
+}
+
+// TestEncodeMatchesReference proves the table-driven encoder equals the
+// retained scalar oracle, on structured corners and a wide random sweep.
+func TestEncodeMatchesReference(t *testing.T) {
+	words := []uint64{0, 1, ^uint64(0), 0xdeadbeefcafebabe, 0x8000000000000001}
+	for b := 0; b < 64; b++ {
+		words = append(words, 1<<uint(b)) // every single-bit word
+	}
+	rng := sim.NewRNG(101)
+	for i := 0; i < 10000; i++ {
+		words = append(words, rng.Uint64())
+	}
+	for _, w := range words {
+		if got, want := Encode64(w), encode64Ref(w); got != want {
+			t.Fatalf("Encode64(%#x) = %#08b, reference %#08b", w, got, want)
+		}
+		if got, want := hamming(w), hammingRef(w); got != want {
+			t.Fatalf("hamming(%#x) = %#08b, reference %#08b", w, got, want)
+		}
+	}
+}
+
+// TestDecodeMatchesReferenceExhaustive proves table-driven decode equals
+// the scalar oracle for every single-bit error position and every
+// distinct double-bit error position pair of the 72-bit codeword, over
+// a set of random data words. This is the guarantee that the kernel
+// swap cannot change any simulated reliability outcome.
+func TestDecodeMatchesReferenceExhaustive(t *testing.T) {
+	rng := sim.NewRNG(202)
+	words := []uint64{0, ^uint64(0)}
+	for i := 0; i < 16; i++ {
+		words = append(words, rng.Uint64())
+	}
+	for _, data := range words {
+		check := Encode64(data)
+
+		// Zero errors.
+		if d1, s1 := Check64(data, check); true {
+			d2, s2 := check64Ref(data, check)
+			if d1 != d2 || s1 != s2 {
+				t.Fatalf("clean %#x: table (%#x,%v) != ref (%#x,%v)", data, d1, s1, d2, s2)
+			}
+			if s1 != OK || d1 != data {
+				t.Fatalf("clean %#x: status %v data %#x", data, s1, d1)
+			}
+		}
+
+		// Every single-bit error position (and the single-error contract).
+		for p := 0; p < 72; p++ {
+			d, c := flipAt(data, check, p)
+			g1, s1 := Check64(d, c)
+			g2, s2 := check64Ref(d, c)
+			if g1 != g2 || s1 != s2 {
+				t.Fatalf("word %#x single @%d: table (%#x,%v) != ref (%#x,%v)",
+					data, p, g1, s1, g2, s2)
+			}
+			if g1 != data {
+				t.Fatalf("word %#x single @%d: not recovered (got %#x)", data, p, g1)
+			}
+		}
+
+		// Every distinct double-bit error position pair (and the
+		// detection contract).
+		for a := 0; a < 72; a++ {
+			for b := a + 1; b < 72; b++ {
+				d, c := flipAt(data, check, a)
+				d, c = flipAt(d, c, b)
+				g1, s1 := Check64(d, c)
+				g2, s2 := check64Ref(d, c)
+				if g1 != g2 || s1 != s2 {
+					t.Fatalf("word %#x double @%d,%d: table (%#x,%v) != ref (%#x,%v)",
+						data, a, b, g1, s1, g2, s2)
+				}
+				if s1 != DetectedDouble {
+					t.Fatalf("word %#x double @%d,%d: status %v", data, a, b, s1)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeMatchesReferenceRandomNoise compares the two decoders on
+// arbitrary (data, check) pairs — including garbage check bytes that
+// never came from the encoder — so the equivalence holds outside the
+// well-formed error model too.
+func TestDecodeMatchesReferenceRandomNoise(t *testing.T) {
+	if err := quick.Check(func(data uint64, check uint8) bool {
+		g1, s1 := Check64(data, check)
+		g2, s2 := check64Ref(data, check)
+		return g1 == g2 && s1 == s2
+	}, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLineKernelsMatchReference proves the word-wide PCC kernels equal
+// their retained bytewise oracles.
+func TestLineKernelsMatchReference(t *testing.T) {
+	rng := sim.NewRNG(303)
+	for i := 0; i < 2000; i++ {
+		var line [LineBytes]byte
+		for b := range line {
+			line[b] = byte(rng.Uint64())
+		}
+		if got, want := PCCLine(&line), pccLineRef(&line); got != want {
+			t.Fatalf("PCCLine: %x != ref %x (line %x)", got, want, line)
+		}
+		pcc := PCCLine(&line)
+		for missing := 0; missing < WordsPerLine; missing++ {
+			got := ReconstructWord(&line, missing, pcc)
+			want := reconstructWordRef(&line, missing, pcc)
+			if got != want {
+				t.Fatalf("ReconstructWord(%d): %#x != ref %#x", missing, got, want)
+			}
+		}
+		w := rng.Intn(WordsPerLine)
+		newVal := rng.Uint64()
+		got := UpdatePCC(pcc, Word(&line, w), newVal)
+		// Reference: bytewise cancel-and-add, as the original implemented.
+		want := pcc
+		var ob, nb [WordBytes]byte
+		putWordLE(&ob, Word(&line, w))
+		putWordLE(&nb, newVal)
+		for b := 0; b < WordBytes; b++ {
+			want[b] ^= ob[b] ^ nb[b]
+		}
+		if got != want {
+			t.Fatalf("UpdatePCC: %x != ref %x", got, want)
+		}
+	}
+}
+
+// putWordLE stores v little-endian into an 8-byte buffer (test helper
+// mirroring the original UpdatePCC serialization).
+func putWordLE(buf *[WordBytes]byte, v uint64) {
+	for b := 0; b < WordBytes; b++ {
+		buf[b] = byte(v >> uint(8*b))
+	}
+}

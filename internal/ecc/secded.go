@@ -12,7 +12,12 @@
 //     by XOR-ing the other seven data words with the PCC word.
 //
 // The codec is bit-accurate: the simulator really encodes, corrupts,
-// reconstructs, checks and corrects stored bytes.
+// reconstructs, checks and corrects stored bytes. It is also hot: the
+// controller encodes or decodes every stored word of every access, so
+// the kernels are table-driven — seven precomputed column masks folded
+// with bits.OnesCount64 — rather than per-bit scalar loops. The scalar
+// forms are retained (unexported, *Ref) as reference oracles for the
+// exhaustive equivalence tests.
 package ecc
 
 import "math/bits"
@@ -53,6 +58,16 @@ func (s Status) String() string {
 // parity bit. dataPos[i] is the codeword position of data bit i.
 var dataPos [64]int
 
+// colMask[k] selects the data bits covered by check bit k: bit i is set
+// iff codeword position dataPos[i] has bit k set. hamming folds each
+// mask with one popcount instead of walking all 64 data bits.
+var colMask [7]uint64
+
+// posToBit inverts dataPos: the data bit index stored at a codeword
+// position, or -1 for check-bit positions and positions outside the
+// code. Check64 uses it to turn a syndrome into a bit flip in O(1).
+var posToBit [128]int8
+
 func init() {
 	i := 0
 	for pos := 1; pos <= 71; pos++ {
@@ -62,11 +77,36 @@ func init() {
 		dataPos[i] = pos
 		i++
 	}
+	for p := range posToBit {
+		posToBit[p] = -1
+	}
+	for i, pos := range dataPos {
+		for k := 0; k < 7; k++ {
+			if pos&(1<<k) != 0 {
+				colMask[k] |= 1 << uint(i)
+			}
+		}
+		posToBit[pos] = int8(i)
+	}
 }
 
 // hamming computes the 7 Hamming check bits for data (bit k of the
-// result is the parity covered by codeword position 2^k).
+// result is the parity covered by codeword position 2^k): one masked
+// popcount per column.
 func hamming(data uint64) uint8 {
+	h := uint(bits.OnesCount64(data&colMask[0])) & 1
+	h |= (uint(bits.OnesCount64(data&colMask[1])) & 1) << 1
+	h |= (uint(bits.OnesCount64(data&colMask[2])) & 1) << 2
+	h |= (uint(bits.OnesCount64(data&colMask[3])) & 1) << 3
+	h |= (uint(bits.OnesCount64(data&colMask[4])) & 1) << 4
+	h |= (uint(bits.OnesCount64(data&colMask[5])) & 1) << 5
+	h |= (uint(bits.OnesCount64(data&colMask[6])) & 1) << 6
+	return uint8(h)
+}
+
+// hammingRef is the original per-bit scalar implementation, retained as
+// the reference oracle the equivalence tests check hamming against.
+func hammingRef(data uint64) uint8 {
 	var syndrome int
 	for i := 0; i < 64; i++ {
 		if data&(1<<uint(i)) != 0 {
@@ -81,6 +121,13 @@ func hamming(data uint64) uint8 {
 // bit 7.
 func Encode64(data uint64) uint8 {
 	h := hamming(data) & 0x7f
+	parity := uint(bits.OnesCount64(data)+bits.OnesCount8(h)) & 1
+	return h | uint8(parity<<7)
+}
+
+// encode64Ref is Encode64 over the scalar reference hamming.
+func encode64Ref(data uint64) uint8 {
+	h := hammingRef(data) & 0x7f
 	parity := uint(bits.OnesCount64(data)+bits.OnesCount8(h)) & 1
 	return h | uint8(parity<<7)
 }
@@ -105,15 +152,41 @@ func Check64(data uint64, check uint8) (uint64, Status) {
 			// Error in one of the stored Hamming bits.
 			return data, CorrectedCheck
 		}
-		for i, pos := range dataPos {
-			if pos == int(syndrome) {
-				return data ^ (1 << uint(i)), CorrectedData
-			}
+		if bit := posToBit[syndrome]; bit >= 0 {
+			return data ^ (1 << uint(bit)), CorrectedData
 		}
 		// Syndrome points outside the codeword: treat as uncorrectable.
 		return data, DetectedDouble
 	default:
 		// Non-zero syndrome with good parity: double-bit error.
+		return data, DetectedDouble
+	}
+}
+
+// check64Ref mirrors Check64 on top of the scalar reference kernels,
+// including the original linear syndrome-to-position search.
+func check64Ref(data uint64, check uint8) (uint64, Status) {
+	expected := hammingRef(data) & 0x7f
+	stored := check & 0x7f
+	syndrome := expected ^ stored
+	parityOK := uint(bits.OnesCount64(data)+bits.OnesCount8(check))&1 == 0
+
+	switch {
+	case syndrome == 0 && parityOK:
+		return data, OK
+	case syndrome == 0 && !parityOK:
+		return data, CorrectedCheck
+	case !parityOK:
+		if syndrome&(syndrome-1) == 0 {
+			return data, CorrectedCheck
+		}
+		for i, pos := range dataPos {
+			if pos == int(syndrome) {
+				return data ^ (1 << uint(i)), CorrectedData
+			}
+		}
+		return data, DetectedDouble
+	default:
 		return data, DetectedDouble
 	}
 }

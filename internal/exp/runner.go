@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"pcmap/internal/config"
 	"pcmap/internal/system"
@@ -51,6 +52,14 @@ type Runner struct {
 
 	mu   sync.Mutex
 	memo map[Spec]*system.Results
+
+	// Sweep throughput accounting: executed (non-memoized) sims, the
+	// engine events they stepped, and their summed per-sim wall time.
+	// Wall-clock feeds only stderr progress reporting — it never enters
+	// simulation results, which stay a function of config and seed.
+	sims     uint64
+	events   uint64
+	simsWall time.Duration
 }
 
 // NewRunner returns a runner with sensible experiment budgets.
@@ -94,17 +103,45 @@ func (r *Runner) Run(s Spec) (*system.Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	//pcmaplint:ignore nodeterminism wall-clock feeds only stderr throughput reporting, never simulation results
+	start := time.Now()
 	res, err := sys.Run(r.Warmup, r.Measure)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s/%s: %w", s.Workload, s.Variant, err)
 	}
+	//pcmaplint:ignore nodeterminism wall-clock feeds only stderr throughput reporting, never simulation results
+	elapsed := time.Since(start)
 	r.mu.Lock()
 	r.memo[s] = res
+	r.sims++
+	r.events += res.Events
+	r.simsWall += elapsed
 	r.mu.Unlock()
 	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("ran %-14s %-9s IPC=%.2f IRLP=%.2f", s.Workload, s.Variant, res.IPCSum, res.IRLPAvg))
+		r.Progress(fmt.Sprintf("ran %-14s %-9s IPC=%.2f IRLP=%.2f wall=%6.2fs %5.1fM ev/s",
+			s.Workload, s.Variant, res.IPCSum, res.IRLPAvg,
+			elapsed.Seconds(), eventsPerSec(res.Events, elapsed)/1e6))
 	}
 	return res, nil
+}
+
+// eventsPerSec guards the zero-duration corner (sub-millisecond sims).
+func eventsPerSec(events uint64, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(events) / wall.Seconds()
+}
+
+// Totals reports the number of simulations actually executed (memo hits
+// excluded), the engine events they stepped, and their summed per-sim
+// wall time. With parallel workers the wall total exceeds elapsed real
+// time; events/totals therefore measure per-worker simulation-thread
+// throughput.
+func (r *Runner) Totals() (sims, events uint64, wall time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sims, r.events, r.simsWall
 }
 
 // RunAll executes specs concurrently, stopping at the first error.

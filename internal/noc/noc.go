@@ -69,35 +69,15 @@ func (m *Mesh) HopCount(from, to int) int {
 	return abs(fr-tr) + abs(fc-tc)
 }
 
-// route enumerates the directed links of the XY path from -> to,
-// calling visit with each (node, direction) pair.
-func (m *Mesh) route(from, to int, visit func(node, dir int)) {
-	r, c := m.coord(from)
-	tr, tc := m.coord(to)
-	for c != tc {
-		if c < tc {
-			visit(r*m.cols+c, 0) // east
-			c++
-		} else {
-			visit(r*m.cols+c, 1) // west
-			c--
-		}
-	}
-	for r != tr {
-		if r < tr {
-			visit(r*m.cols+c, 2) // south
-			r++
-		} else {
-			visit(r*m.cols+c, 3) // north
-			r--
-		}
-	}
-}
-
 // Send books a message of size bytes from node from to node to,
 // departing no earlier than depart. It returns the arrival time,
 // accounting router+link latency per hop, flit serialization, and
 // queueing on each traversed link. from == to costs nothing.
+//
+// The XY path is walked inline — column hops east/west, then row hops
+// south/north — rather than through a per-hop visitor callback; Send is
+// on the per-message hot path and the closure the old visitor pattern
+// captured its booking state in escaped to the heap on every call.
 func (m *Mesh) Send(from, to int, bytes int, depart sim.Time) sim.Time {
 	if from == to {
 		return depart
@@ -109,15 +89,45 @@ func (m *Mesh) Send(from, to int, bytes int, depart sim.Time) sim.Time {
 	serialization := m.link.Times(flits - 1)
 	t := depart
 	hops := 0
-	m.route(from, to, func(node, dir int) {
-		idx := node*numDirs + dir
+	book := m.router + m.link
+	r, c := m.coord(from)
+	tr, tc := m.coord(to)
+	for c != tc {
+		dir := 0 // east
+		if c > tc {
+			dir = 1 // west
+		}
+		idx := (r*m.cols+c)*numDirs + dir
 		if m.linkFree[idx] > t {
 			t = m.linkFree[idx]
 		}
-		t += m.router + m.link
+		t += book
 		m.linkFree[idx] = t - m.link + serialization
 		hops++
-	})
+		if dir == 0 {
+			c++
+		} else {
+			c--
+		}
+	}
+	for r != tr {
+		dir := 2 // south
+		if r > tr {
+			dir = 3 // north
+		}
+		idx := (r*m.cols+c)*numDirs + dir
+		if m.linkFree[idx] > t {
+			t = m.linkFree[idx]
+		}
+		t += book
+		m.linkFree[idx] = t - m.link + serialization
+		hops++
+		if dir == 2 {
+			r++
+		} else {
+			r--
+		}
+	}
 	t += serialization
 	m.Messages.add(1)
 	m.Hops.add(hops)

@@ -7,10 +7,7 @@
 // 25 ticks) from Table I of the paper without rounding error.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in simulated time, in ticks of 100 ps.
 type Time int64
@@ -43,39 +40,36 @@ func (t Time) String() string { return fmt.Sprintf("%.1fns", t.Nanoseconds()) }
 // NS returns a duration of n nanoseconds.
 func NS(n float64) Time { return Time(n * 10) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events live by value inside the
+// engine's arena slice; pushing one never allocates (beyond amortized
+// slice growth), unlike the previous container/heap implementation
+// which boxed every event into an interface{} on both Push and Pop.
 type event struct {
 	at  Time
-	seq uint64 // tie-breaker for deterministic ordering
+	seq uint64 // tie-breaker for deterministic FIFO ordering
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+// before is the heap order: earliest time first, FIFO within a time.
+// (at, seq) is a total order — seq is unique — so any correct heap pops
+// events in exactly the same sequence, which is what keeps the engine
+// rewrite bit-identical to the old binary heap.
+func (a *event) before(b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 // Engine is not safe for concurrent use; the whole simulation is single
 // threaded and deterministic, which is what a reproducibility study needs.
+//
+// Events are kept in a monomorphic 4-ary min-heap laid out in one slice
+// (the event arena). A 4-ary heap halves the tree depth of a binary
+// heap, and sift operations move whole event values inside the arena,
+// so the steady-state scheduling path performs zero allocations.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []event // 4-ary min-heap ordered by (at, seq)
 	nsteps uint64
 }
 
@@ -106,7 +100,63 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// push appends ev to the arena and sifts it up the 4-ary heap, moving
+// displaced parents down into the hole rather than swapping.
+func (e *Engine) push(ev event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ev.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.events = h
+}
+
+// pop removes and returns the minimum event. The vacated arena slot is
+// zeroed so the engine does not retain the callback past execution.
+func (e *Engine) pop() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{}
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			// Minimum of the (up to four) children.
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].before(&h[m]) {
+					m = j
+				}
+			}
+			if !h[m].before(&last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return root
 }
 
 // Step executes the next event. It reports false when no events remain.
@@ -114,7 +164,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.nsteps++
 	ev.fn()

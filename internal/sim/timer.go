@@ -1,0 +1,50 @@
+package sim
+
+// Timer is a reusable, pre-bound scheduled callback. Recurring
+// schedulers — a CPU core's step loop, a controller's issue loop — fire
+// the same function thousands of times per simulated microsecond;
+// passing a method value to Engine.Schedule materializes a fresh
+// closure for every call. A Timer binds the callback once at
+// construction, so each (re)arm pushes a plain event value into the
+// engine's arena and the steady-state scheduling path allocates
+// nothing.
+//
+// A Timer may be armed again before an earlier arming has fired; each
+// arming fires exactly once, in the engine's usual (time, seq) order.
+// Like the Engine itself, Timer is not safe for concurrent use.
+type Timer struct {
+	eng     *Engine
+	run     func()
+	pending int
+}
+
+// NewTimer returns a timer on e that invokes fn each time it fires.
+// The callback is bound once, here; this is the only allocation a
+// timer ever performs.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	t := &Timer{eng: e}
+	t.run = func() {
+		t.pending--
+		fn()
+	}
+	return t
+}
+
+// Schedule arms the timer to fire after delay ticks. A negative delay
+// panics, matching Engine.Schedule.
+func (t *Timer) Schedule(delay Time) { t.At(t.eng.now + delay) }
+
+// At arms the timer to fire at absolute time at, which must not
+// precede the current time.
+func (t *Timer) At(at Time) {
+	e := t.eng
+	if at < e.now {
+		panic("sim: timer armed before now")
+	}
+	t.pending++
+	e.seq++
+	e.push(event{at: at, seq: e.seq, fn: t.run})
+}
+
+// Pending returns the number of armed, not-yet-fired schedulings.
+func (t *Timer) Pending() int { return t.pending }

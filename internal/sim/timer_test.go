@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimerFiresBoundCallback(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	tm := e.NewTimer(func() { hits++ })
+	tm.Schedule(10)
+	if tm.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", tm.Pending())
+	}
+	e.Run()
+	if hits != 1 || tm.Pending() != 0 {
+		t.Fatalf("hits = %d pending = %d after run", hits, tm.Pending())
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock %v, want 10", e.Now())
+	}
+}
+
+func TestTimerRecurring(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	var tm *Timer
+	tm = e.NewTimer(func() {
+		times = append(times, e.Now())
+		if len(times) < 5 {
+			tm.Schedule(MemCycle)
+		}
+	})
+	tm.Schedule(0)
+	e.Run()
+	if len(times) != 5 {
+		t.Fatalf("fired %d times, want 5", len(times))
+	}
+	for i, at := range times {
+		if at != MemCycle*Time(i) {
+			t.Fatalf("firing %d at %v, want %v", i, at, MemCycle*Time(i))
+		}
+	}
+}
+
+func TestTimerMultipleArmed(t *testing.T) {
+	// Arming again before the first firing is allowed: each arming
+	// fires once, in engine order.
+	e := NewEngine()
+	var order []Time
+	tm := e.NewTimer(func() { order = append(order, e.Now()) })
+	tm.Schedule(20)
+	tm.Schedule(5)
+	if tm.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", tm.Pending())
+	}
+	e.Run()
+	if len(order) != 2 || order[0] != 5 || order[1] != 20 {
+		t.Fatalf("firings at %v, want [5 20]", order)
+	}
+}
+
+func TestTimerPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	tm := e.NewTimer(func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arming a timer before now should panic")
+		}
+	}()
+	tm.At(5)
+}
+
+// TestTimerInterleavesWithEvents pins the cross-API ordering: timer
+// firings and plain scheduled events at the same timestamp fire in
+// their combined scheduling (seq) order.
+func TestTimerInterleavesWithEvents(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	tm := e.NewTimer(func() { order = append(order, -1) })
+	e.Schedule(5, func() { order = append(order, 0) })
+	tm.Schedule(5)
+	e.Schedule(5, func() { order = append(order, 1) })
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != -1 || order[2] != 1 {
+		t.Fatalf("same-time FIFO across APIs broken: %v", order)
+	}
+}
+
+// TestEngineSteadyStateZeroAlloc is the tentpole guarantee: once the
+// arena has grown to its working size, a schedule/fire cycle through a
+// Timer performs no allocations at all.
+func TestEngineSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	var tm *Timer
+	tm = e.NewTimer(func() {})
+	// Prime the arena.
+	for i := 0; i < 64; i++ {
+		tm.Schedule(Time(i))
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.Schedule(MemCycle)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state timer scheduling allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestEngineFIFOProperty is the heap-rewrite property test: for any
+// batch of delays, same-timestamp events fire in scheduling order and
+// timestamps never decrease.
+func TestEngineFIFOProperty(t *testing.T) {
+	check := func(delays []uint8) bool {
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			ins int
+		}
+		var fired []rec
+		for i, d := range delays {
+			ins := i
+			e.Schedule(Time(d%16), func() { fired = append(fired, rec{e.Now(), ins}) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].ins < fired[i-1].ins {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

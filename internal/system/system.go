@@ -96,6 +96,11 @@ type Results struct {
 	Instructions uint64
 	RPKI, WPKI   float64
 
+	// Events is the number of engine events executed by this run
+	// (warmup and measurement), the denominator of the harness's
+	// events/sec throughput reporting.
+	Events uint64
+
 	Rollbacks, RoWVerifies uint64
 	MaxRollbackPct         float64 // rollbacks / RoW reads (Table IV's "% of max rollbacks")
 
@@ -114,6 +119,7 @@ type Results struct {
 // runs measure instructions per core and collects results. It returns
 // an error if the simulation wedges (requests or cores stuck).
 func (s *System) Run(warmup, measure uint64) (*Results, error) {
+	steps0 := s.Eng.Steps()
 	if err := s.runPhase(warmup); err != nil {
 		return nil, fmt.Errorf("system: warmup: %w", err)
 	}
@@ -153,6 +159,7 @@ func (s *System) Run(warmup, measure uint64) (*Results, error) {
 	r.L2MissRatio = s.Hier.L2.MissRatio()
 	r.LLCMissRatio = s.Hier.LLC.MissRatio()
 	r.InjectedStuck, r.InjectedDrift = s.Mem.FaultCounts()
+	r.Events = s.Eng.Steps() - steps0
 	r.Energy = s.Mem.Energy(energy.Default()).String()
 	return r, nil
 }

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Benchmark entry point, shared by `make bench` and CI.
+#
+#   scripts/bench.sh            run the hot-path suite and rewrite
+#                               BENCH_3.json's "current" section
+#   scripts/bench.sh -check     run the suite and fail on allocs/op
+#                               regressions against BENCH_3.json
+#
+# The suite covers the perf-critical substrates (event engine, timers,
+# SECDED, PCC, RNG), one end-to-end controller bench, and one full
+# figure regeneration — enough to catch both micro-level allocation
+# regressions and macro-level slowdowns without CI running every
+# figure. BENCHTIME trades precision for CI time.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+PATTERN='^(BenchmarkEngine|BenchmarkEngineTimer|BenchmarkSECDEDEncode|BenchmarkSECDEDCorrect|BenchmarkSECDEDDecodeClean|BenchmarkPCCReconstruct|BenchmarkPCCUpdate|BenchmarkRNGUint64|BenchmarkRNGExp|BenchmarkRNGPick|BenchmarkControllerRequests|BenchmarkFig1)$'
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+echo ">> go test -bench (benchtime=$BENCHTIME)"
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$OUT"
+
+case "${1:-}" in
+-check)
+	echo '>> pcmapbench -check BENCH_3.json'
+	go run ./cmd/pcmapbench -check BENCH_3.json <"$OUT"
+	;;
+"")
+	echo '>> pcmapbench -out BENCH_3.json'
+	go run ./cmd/pcmapbench -out BENCH_3.json <"$OUT"
+	;;
+*)
+	echo "usage: scripts/bench.sh [-check]" >&2
+	exit 2
+	;;
+esac
+
+echo 'bench OK'
