@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint figures bench bench-check profile
+.PHONY: build test race lint figures bench bench-check profile sweep-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,11 @@ bench:
 # ledger instead of rewriting it. CI runs this.
 bench-check:
 	sh scripts/bench.sh -check
+
+# End-to-end resume check: run a sweep with -cache, SIGINT it, re-run
+# with -resume, and require byte-identical stdout. CI runs this.
+sweep-smoke:
+	sh scripts/sweep_smoke.sh
 
 # Capture CPU and heap profiles of a full figure regeneration; inspect
 # with `go tool pprof cpu.prof` (see DESIGN.md §8).

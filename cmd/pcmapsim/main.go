@@ -11,13 +11,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"pcmap/internal/config"
 	"pcmap/internal/exp"
@@ -40,6 +44,9 @@ func main() {
 		endurance = flag.Uint64("endurance", 0, "adhoc: write-endurance budget before cells stick (0 = perfect cells)")
 		drift     = flag.Float64("drift", 0, "adhoc: per-read drift bit-flip probability")
 		verify    = flag.Bool("verify", false, "adhoc: enable the program-and-verify write path")
+		cacheDir  = flag.String("cache", "", "persist completed runs to this result-cache directory")
+		resume    = flag.Bool("resume", false, "load previously cached runs instead of re-simulating (requires -cache)")
+		retries   = flag.Int("retries", 0, "re-attempt a failed simulation up to this many times")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -71,9 +78,30 @@ func main() {
 	if *drift < 0 || *drift >= 1 {
 		fatal(fmt.Errorf("invalid -drift %g (must be in [0,1))", *drift))
 	}
+	if *resume && *cacheDir == "" {
+		fatal(fmt.Errorf("invalid -resume: requires -cache DIR to resume from"))
+	}
+	if *retries < 0 {
+		fatal(fmt.Errorf("invalid -retries %d (must be >= 0)", *retries))
+	}
+
+	// First SIGINT/SIGTERM cancels the sweep: no new simulations are
+	// dispatched, in-flight ones finish and land in the cache, and the
+	// process exits 130 — re-running with -cache DIR -resume continues
+	// where it stopped. A second signal kills the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	r := exp.NewRunner()
 	r.Warmup, r.Measure, r.Parallelism = *warmup, *measure, *par
+	r.Resume, r.Retries = *resume, *retries
+	if *cacheDir != "" {
+		cache, err := exp.NewDiskCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		r.Cache = cache
+	}
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -82,7 +110,7 @@ func main() {
 	defer printAggregate(r)
 
 	if *expName == "adhoc" {
-		if err := runAdhoc(r, adhocOpts{
+		if err := runAdhoc(ctx, r, adhocOpts{
 			workload: *workload, variant: *variant, ratio: *ratio, pausing: *pausing,
 			endurance: *endurance, drift: *drift, verify: *verify,
 		}); err != nil {
@@ -93,24 +121,24 @@ func main() {
 
 	type expFn func() (*exp.FigureResult, error)
 	table := map[string]expFn{
-		"fig1":      func() (*exp.FigureResult, error) { return exp.Fig1(r) },
-		"fig2":      func() (*exp.FigureResult, error) { return exp.Fig2(r) },
-		"fig8":      func() (*exp.FigureResult, error) { return exp.Fig8(r, *avgmt) },
-		"fig9":      func() (*exp.FigureResult, error) { return exp.Fig9(r, *avgmt) },
-		"fig10":     func() (*exp.FigureResult, error) { return exp.Fig10(r, *avgmt) },
-		"fig11":     func() (*exp.FigureResult, error) { return exp.Fig11(r, *avgmt) },
-		"table2":    func() (*exp.FigureResult, error) { return exp.Table2(r) },
-		"table3":    func() (*exp.FigureResult, error) { return exp.Table3(r) },
-		"table4":    func() (*exp.FigureResult, error) { return exp.Table4(r) },
-		"headline":  func() (*exp.FigureResult, error) { return exp.Headline(r, *avgmt) },
-		"pausing":   func() (*exp.FigureResult, error) { return exp.Pausing(r) },
-		"ablations": func() (*exp.FigureResult, error) { return exp.Ablations(r) },
+		"fig1":      func() (*exp.FigureResult, error) { return exp.Fig1(ctx, r) },
+		"fig2":      func() (*exp.FigureResult, error) { return exp.Fig2(ctx, r) },
+		"fig8":      func() (*exp.FigureResult, error) { return exp.Fig8(ctx, r, *avgmt) },
+		"fig9":      func() (*exp.FigureResult, error) { return exp.Fig9(ctx, r, *avgmt) },
+		"fig10":     func() (*exp.FigureResult, error) { return exp.Fig10(ctx, r, *avgmt) },
+		"fig11":     func() (*exp.FigureResult, error) { return exp.Fig11(ctx, r, *avgmt) },
+		"table2":    func() (*exp.FigureResult, error) { return exp.Table2(ctx, r) },
+		"table3":    func() (*exp.FigureResult, error) { return exp.Table3(ctx, r) },
+		"table4":    func() (*exp.FigureResult, error) { return exp.Table4(ctx, r) },
+		"headline":  func() (*exp.FigureResult, error) { return exp.Headline(ctx, r, *avgmt) },
+		"pausing":   func() (*exp.FigureResult, error) { return exp.Pausing(ctx, r) },
+		"ablations": func() (*exp.FigureResult, error) { return exp.Ablations(ctx, r) },
 		"reliability": func() (*exp.FigureResult, error) {
 			v, err := lookupVariant(*variant)
 			if err != nil {
 				return nil, err
 			}
-			return exp.Reliability(r, *workload, v)
+			return exp.Reliability(ctx, r, *workload, v)
 		},
 	}
 	order := []string{"fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "table2", "table3", "table4", "headline", "pausing", "ablations", "reliability"}
@@ -131,6 +159,9 @@ func main() {
 	for _, n := range names {
 		f, err := table[n]()
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				interrupted(r, *cacheDir)
+			}
 			fatal(err)
 		}
 		results = append(results, f)
@@ -180,12 +211,12 @@ type adhocOpts struct {
 	verify            bool
 }
 
-func runAdhoc(r *exp.Runner, o adhocOpts) error {
+func runAdhoc(ctx context.Context, r *exp.Runner, o adhocOpts) error {
 	variant, err := lookupVariant(o.variant)
 	if err != nil {
 		return err
 	}
-	res, err := r.Run(exp.Spec{Workload: o.workload, Variant: variant,
+	res, err := r.RunCtx(ctx, exp.Spec{Workload: o.workload, Variant: variant,
 		WriteToReadRatio: o.ratio, WritePausing: o.pausing,
 		EnduranceBudget: o.endurance, DriftProb: o.drift, VerifyWrites: o.verify})
 	if err != nil {
@@ -227,6 +258,9 @@ func runAdhoc(r *exp.Runner, o adhocOpts) error {
 // printAggregate emits the one-line sweep throughput summary to stderr.
 func printAggregate(r *exp.Runner) {
 	sims, events, wall := r.Totals()
+	if hits := r.CacheHits(); hits > 0 {
+		fmt.Fprintf(os.Stderr, "pcmapsim: %d runs loaded from cache, %d simulated\n", hits, sims)
+	}
 	if sims == 0 {
 		return
 	}
@@ -236,6 +270,19 @@ func printAggregate(r *exp.Runner) {
 	}
 	fmt.Fprintf(os.Stderr, "pcmapsim: %d sims, %d events, %.1fM events/sec per sim thread\n",
 		sims, events, rate/1e6)
+}
+
+// interrupted reports a signal-cancelled sweep and exits 130 (the
+// conventional SIGINT status). Completed runs are already on disk when
+// -cache was given, so the user can re-run with -resume.
+func interrupted(r *exp.Runner, cacheDir string) {
+	sims, _, _ := r.Totals()
+	msg := fmt.Sprintf("pcmapsim: interrupted after %d completed sims", sims)
+	if cacheDir != "" {
+		msg += fmt.Sprintf("; re-run with -cache %s -resume to continue", cacheDir)
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(130)
 }
 
 // writeHeapProfile snapshots the heap at exit for -memprofile.

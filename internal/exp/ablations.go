@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"pcmap/internal/config"
@@ -15,13 +16,19 @@ import (
 // IV-B4 multi-word RoW extension, and Start-Gap wear leveling. Each
 // knob runs on a representative write-intense workload (MP6) at the
 // runner's budgets, reporting IPC and the knob's own figure of merit.
-func Ablations(r *Runner) (*FigureResult, error) {
+func Ablations(ctx context.Context, r *Runner) (*FigureResult, error) {
 	const workload = "MP6"
 	f := newFigure("ablations", "Ablations: PCMap design-choice sensitivity (MP6)")
 	f.Table = &stats.Table{Title: f.Title,
 		Headers: []string{"knob", "setting", "IPC (sum)", "figure of merit"}}
 
+	// Ablation configs are not expressible as Specs (they mutate knobs
+	// the Spec doesn't carry), so they bypass the runner's memo and
+	// cache; cancellation is honored between runs.
 	run := func(name, setting string, mut func(*config.Config), merit func(*system.Results) string) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cfg := config.Default().WithVariant(config.RWoWRDE)
 		mut(cfg)
 		s, err := system.Build(cfg, workload)

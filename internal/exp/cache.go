@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pcmap/internal/config"
+	"pcmap/internal/system"
+)
+
+// cacheFormatVersion is folded into every cache key. Bump it whenever
+// the serialized Results format or the simulation's meaning changes in
+// a way that should invalidate old entries; stale files are then simply
+// never addressed again (no migration logic needed).
+const cacheFormatVersion = 1
+
+// CacheKey derives the content address of one run: a SHA-256 over the
+// cache format version, the Spec, the fully resolved configuration, and
+// the instruction budgets. Everything a simulation's output depends on
+// is in the hash — two runs share a key if and only if they are the
+// same deterministic computation — so resuming can never serve a result
+// produced under different settings.
+func CacheKey(s Spec, cfg *config.Config, warmup, measure uint64) string {
+	payload, err := json.Marshal(struct {
+		Version         int
+		Spec            Spec
+		Config          *config.Config
+		Warmup, Measure uint64
+	}{cacheFormatVersion, s, cfg, warmup, measure})
+	if err != nil {
+		// Spec and Config are plain data; marshaling cannot fail.
+		panic(fmt.Sprintf("exp: cache key: %v", err))
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// DiskCache persists simulation Results content-addressed by CacheKey,
+// one JSON file per run. Writes go through a temp file in the same
+// directory followed by an atomic rename, so a sweep killed mid-write
+// leaves either a complete entry or none — never a truncated file a
+// resume could misread.
+type DiskCache struct {
+	dir string
+}
+
+// NewDiskCache opens (creating if needed) a cache rooted at dir.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: cache dir: %w", err)
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *DiskCache) Dir() string { return c.dir }
+
+func (c *DiskCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Load returns the cached Results for key, or ok=false on a miss. A
+// corrupted or unreadable entry counts as a miss: the run simply
+// re-executes and overwrites it (the key addresses a deterministic
+// computation, so overwriting is always safe).
+func (c *DiskCache) Load(key string) (res *system.Results, ok bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	r, err := system.DecodeResults(data)
+	if err != nil {
+		return nil, false
+	}
+	return r, true
+}
+
+// Store persists res under key atomically (temp file + rename).
+func (c *DiskCache) Store(key string, res *system.Results) error {
+	data, err := system.EncodeResults(res)
+	if err != nil {
+		return fmt.Errorf("cache store: %w", err)
+	}
+	f, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache store: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache store: %w", werr)
+	}
+	if err := os.Rename(tmp, c.path(key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache store: %w", err)
+	}
+	return nil
+}
+
+// Len counts complete entries in the cache (diagnostics and tests).
+func (c *DiskCache) Len() (int, error) {
+	names, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	return len(names), nil
+}

@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"pcmap/internal/config"
+	"pcmap/internal/system"
+)
+
+func TestCacheKeySensitivity(t *testing.T) {
+	base := Spec{Workload: "MP4", Variant: config.RWoWRDE, VerifyWrites: true}
+	cfg := config.Default().WithVariant(base.Variant)
+	key := CacheKey(base, cfg, 1000, 2000)
+	if key != CacheKey(base, cfg, 1000, 2000) {
+		t.Fatal("cache key is not deterministic")
+	}
+	perturbed := []struct {
+		name string
+		key  string
+	}{
+		{"workload", CacheKey(Spec{Workload: "MP6", Variant: base.Variant, VerifyWrites: true}, cfg, 1000, 2000)},
+		{"spec knob", CacheKey(Spec{Workload: "MP4", Variant: base.Variant}, cfg, 1000, 2000)},
+		{"warmup", CacheKey(base, cfg, 999, 2000)},
+		{"measure", CacheKey(base, cfg, 1000, 2001)},
+	}
+	seen := map[string]string{key: "base"}
+	for _, p := range perturbed {
+		if prev, dup := seen[p.key]; dup {
+			t.Errorf("perturbing %s collides with %s", p.name, prev)
+		}
+		seen[p.key] = p.name
+	}
+	// The resolved config is part of the key even when the Spec is
+	// identical: a changed default must not be served stale results.
+	cfg2 := config.Default().WithVariant(base.Variant)
+	cfg2.Memory.ReadQueueCap++
+	if CacheKey(base, cfg2, 1000, 2000) == key {
+		t.Error("config change did not change the cache key")
+	}
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	c, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load("missing"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	res := fakeResults(Spec{Workload: "MP4", Variant: config.RWoWRDE})
+	if err := c.Store("k1", res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Load("k1")
+	if !ok {
+		t.Fatal("stored entry not loadable")
+	}
+	if got.Workload != res.Workload || got.Variant != res.Variant {
+		t.Fatalf("loaded %s/%s, want %s/%s", got.Workload, got.Variant, res.Workload, res.Variant)
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1 entry and no temp-file leftovers", n, err)
+	}
+}
+
+func TestDiskCacheCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range map[string]string{
+		"truncated": `{"Workload":"MP4","Var`,
+		"empty":     "",
+		"null":      "null",
+		"no-mem":    `{"Workload":"MP4"}`,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name+".json"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Load(name); ok {
+			t.Errorf("%s entry loaded as a hit; corruption must be a miss", name)
+		}
+	}
+}
+
+// runReliabilityMarkdown renders the reliability figure through r and
+// returns its markdown — the byte-level artifact the resume contract is
+// stated in.
+func runReliabilityMarkdown(t *testing.T, r *Runner) string {
+	t.Helper()
+	f, err := Reliability(context.Background(), r, "MP4", config.RWoWRDE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Table.Markdown()
+}
+
+// TestResumeByteIdentical is the ISSUE's resume acceptance test: a
+// sweep killed partway (modeled as a runner that cached only 3 of the 5
+// reliability points) and re-run with Resume must execute only the
+// missing simulations and produce byte-identical report output.
+func TestResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 8 real simulations")
+	}
+	// Reference: the uninterrupted sweep, no cache involved.
+	ref := runReliabilityMarkdown(t, testRunner())
+
+	dir := t.TempDir()
+	// Phase 1: "interrupted" sweep — only the first 3 points complete
+	// before the kill, each landing in the disk cache.
+	partial := testRunner()
+	var err error
+	if partial.Cache, err = NewDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range reliabilityPoints[:3] {
+		if _, err := partial.Run(Spec{Workload: "MP4", Variant: config.RWoWRDE,
+			EnduranceBudget: p.Budget, DriftProb: p.Drift, VerifyWrites: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := partial.Cache.Len(); err != nil || n != 3 {
+		t.Fatalf("cache has %d entries, %v; want 3", n, err)
+	}
+
+	// Phase 2: resume in a fresh runner (fresh process: no memo). Count
+	// real executions through the simulate hook — only the 2 missing
+	// points may simulate.
+	resumed := testRunner()
+	if resumed.Cache, err = NewDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	resumed.Resume = true
+	var executed int32
+	resumed.simulate = func(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+		atomic.AddInt32(&executed, 1)
+		return runSimulation(cfg, workload, warmup, measure)
+	}
+	got := runReliabilityMarkdown(t, resumed)
+
+	if n := atomic.LoadInt32(&executed); n != 2 {
+		t.Errorf("resume executed %d simulations, want exactly the 2 missing", n)
+	}
+	if hits := resumed.CacheHits(); hits != 3 {
+		t.Errorf("resume loaded %d cached runs, want 3", hits)
+	}
+	if got != ref {
+		t.Errorf("resumed report differs from uninterrupted run:\n--- want ---\n%s\n--- got ---\n%s", ref, got)
+	}
+	// The resumed sweep back-fills the cache: all 5 points present.
+	if n, err := resumed.Cache.Len(); err != nil || n != 5 {
+		t.Errorf("cache has %d entries after resume, %v; want 5", n, err)
+	}
+}

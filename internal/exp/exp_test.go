@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"testing"
 
 	"pcmap/internal/config"
@@ -63,7 +64,7 @@ func TestRunAllParallel(t *testing.T) {
 		{Workload: "dedup", Variant: config.Baseline},
 		{Workload: "dedup", Variant: config.RWoWRDE},
 	}
-	if err := r.RunAll(specs); err != nil {
+	if err := r.RunAll(context.Background(), specs); err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range specs {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -43,7 +44,7 @@ var overlapVariants = []config.Variant{
 // Fig1 regenerates Figure 1: for each SPEC program on the baseline,
 // the percentage of reads delayed by an ongoing write and the
 // effective read latency normalized to a symmetric-latency PCM.
-func Fig1(r *Runner) (*FigureResult, error) {
+func Fig1(ctx context.Context, r *Runner) (*FigureResult, error) {
 	apps := workloads.SPECNames()
 	var specs []Spec
 	for _, a := range apps {
@@ -51,7 +52,7 @@ func Fig1(r *Runner) (*FigureResult, error) {
 			Spec{Workload: a, Variant: config.Baseline},
 			Spec{Workload: a, Variant: config.Baseline, Symmetric: true})
 	}
-	if err := r.RunAll(specs); err != nil {
+	if err := r.RunAll(ctx, specs); err != nil {
 		return nil, err
 	}
 	f := newFigure("fig1", "Figure 1: reads delayed by writes; read latency vs symmetric PCM (baseline)")
@@ -79,13 +80,13 @@ func Fig1(r *Runner) (*FigureResult, error) {
 
 // Fig2 regenerates Figure 2: the distribution of essential 8B words
 // per 64B write-back, measured at the PCM controller.
-func Fig2(r *Runner) (*FigureResult, error) {
+func Fig2(ctx context.Context, r *Runner) (*FigureResult, error) {
 	apps := workloads.SPECNames()
 	var specs []Spec
 	for _, a := range apps {
 		specs = append(specs, Spec{Workload: a, Variant: config.Baseline})
 	}
-	if err := r.RunAll(specs); err != nil {
+	if err := r.RunAll(ctx, specs); err != nil {
 		return nil, err
 	}
 	f := newFigure("fig2", "Figure 2: dirty-word distribution of write-backs (measured at PCM)")
@@ -159,8 +160,8 @@ type runPair struct {
 
 // evalFigure drives the shared sweep and fills a figure whose cell
 // [workload][variant] = metric(run, baseline).
-func evalFigure(r *Runner, id, title string, includeAvgMT bool, variants []config.Variant, metric metricFn) (*FigureResult, error) {
-	if err := r.RunAll(evalSpecs(includeAvgMT)); err != nil {
+func evalFigure(ctx context.Context, r *Runner, id, title string, includeAvgMT bool, variants []config.Variant, metric metricFn) (*FigureResult, error) {
+	if err := r.RunAll(ctx, evalSpecs(includeAvgMT)); err != nil {
 		return nil, err
 	}
 	f := newFigure(id, title)
@@ -209,9 +210,9 @@ func evalFigure(r *Runner, id, title string, includeAvgMT bool, variants []confi
 
 // Fig8 regenerates Figure 8: IRLP per workload for Baseline, WoW-NR,
 // RWoW-RD and RWoW-RDE (the paper's legend).
-func Fig8(r *Runner, includeAvgMT bool) (*FigureResult, error) {
+func Fig8(ctx context.Context, r *Runner, includeAvgMT bool) (*FigureResult, error) {
 	variants := []config.Variant{config.Baseline, config.WoWNR, config.RWoWRD, config.RWoWRDE}
-	f, err := evalFigure(r, "fig8", "Figure 8: intra-rank-level parallelism during writes",
+	f, err := evalFigure(ctx, r, "fig8", "Figure 8: intra-rank-level parallelism during writes",
 		includeAvgMT, variants, func(p runPair) float64 { return p.res.IRLPAvg })
 	if err != nil {
 		return nil, err
@@ -223,8 +224,8 @@ func Fig8(r *Runner, includeAvgMT bool) (*FigureResult, error) {
 }
 
 // Fig9 regenerates Figure 9: write throughput normalized to baseline.
-func Fig9(r *Runner, includeAvgMT bool) (*FigureResult, error) {
-	f, err := evalFigure(r, "fig9", "Figure 9: write throughput improvement over baseline",
+func Fig9(ctx context.Context, r *Runner, includeAvgMT bool) (*FigureResult, error) {
+	f, err := evalFigure(ctx, r, "fig9", "Figure 9: write throughput improvement over baseline",
 		includeAvgMT, overlapVariants, func(p runPair) float64 {
 			b := p.base.Mem.WriteThroughput()
 			if b <= 0 {
@@ -243,8 +244,8 @@ func Fig9(r *Runner, includeAvgMT bool) (*FigureResult, error) {
 
 // Fig10 regenerates Figure 10: effective read latency normalized to
 // baseline.
-func Fig10(r *Runner, includeAvgMT bool) (*FigureResult, error) {
-	f, err := evalFigure(r, "fig10", "Figure 10: effective read latency (normalized to baseline)",
+func Fig10(ctx context.Context, r *Runner, includeAvgMT bool) (*FigureResult, error) {
+	f, err := evalFigure(ctx, r, "fig10", "Figure 10: effective read latency (normalized to baseline)",
 		includeAvgMT, overlapVariants, func(p runPair) float64 {
 			b := p.base.Mem.ReadLatency.MeanNS()
 			if b <= 0 {
@@ -261,8 +262,8 @@ func Fig10(r *Runner, includeAvgMT bool) (*FigureResult, error) {
 }
 
 // Fig11 regenerates Figure 11: IPC improvement over baseline.
-func Fig11(r *Runner, includeAvgMT bool) (*FigureResult, error) {
-	f, err := evalFigure(r, "fig11", "Figure 11: IPC improvement over baseline",
+func Fig11(ctx context.Context, r *Runner, includeAvgMT bool) (*FigureResult, error) {
+	f, err := evalFigure(ctx, r, "fig11", "Figure 11: IPC improvement over baseline",
 		includeAvgMT, overlapVariants, func(p runPair) float64 {
 			if p.base.IPCSum <= 0 {
 				return 0
@@ -279,13 +280,13 @@ func Fig11(r *Runner, includeAvgMT bool) (*FigureResult, error) {
 
 // Table2 checks the workload calibration: measured RPKI/WPKI against
 // the Table II targets.
-func Table2(r *Runner) (*FigureResult, error) {
+func Table2(ctx context.Context, r *Runner) (*FigureResult, error) {
 	names := workloads.EvaluationSet()
 	var specs []Spec
 	for _, n := range names {
 		specs = append(specs, Spec{Workload: n, Variant: config.Baseline})
 	}
-	if err := r.RunAll(specs); err != nil {
+	if err := r.RunAll(ctx, specs); err != nil {
 		return nil, err
 	}
 	f := newFigure("table2", "Table II: workload intensity (measured vs paper)")
@@ -309,7 +310,7 @@ func Table2(r *Runner) (*FigureResult, error) {
 
 // Table3 regenerates Table III: IPC improvement of RWoW-NR and
 // RWoW-RDE as the write-to-read latency ratio varies from 2x to 8x.
-func Table3(r *Runner) (*FigureResult, error) {
+func Table3(ctx context.Context, r *Runner) (*FigureResult, error) {
 	ratios := []float64{2, 4, 6, 8}
 	names := workloads.EvaluationSet()
 	variants := []config.Variant{config.RWoWRDE, config.RWoWNR}
@@ -322,7 +323,7 @@ func Table3(r *Runner) (*FigureResult, error) {
 			}
 		}
 	}
-	if err := r.RunAll(specs); err != nil {
+	if err := r.RunAll(ctx, specs); err != nil {
 		return nil, err
 	}
 	f := newFigure("table3", "Table III: IPC improvement vs write-to-read latency ratio")
@@ -353,7 +354,7 @@ func Table3(r *Runner) (*FigureResult, error) {
 // Table4 regenerates Table IV: the cost of RoW verification rollbacks
 // for the workloads with the most rollbacks, comparing an always-faulty
 // system against a never-faulty one.
-func Table4(r *Runner) (*FigureResult, error) {
+func Table4(ctx context.Context, r *Runner) (*FigureResult, error) {
 	names := []string{"canneal", "facesim", "MP6", "ferret"}
 	var specs []Spec
 	for _, n := range names {
@@ -362,7 +363,7 @@ func Table4(r *Runner) (*FigureResult, error) {
 			Spec{Workload: n, Variant: config.RWoWRDE, FaultMode: "always"},
 			Spec{Workload: n, Variant: config.RWoWRDE, FaultMode: "never"})
 	}
-	if err := r.RunAll(specs); err != nil {
+	if err := r.RunAll(ctx, specs); err != nil {
 		return nil, err
 	}
 	f := newFigure("table4", "Table IV: IPC of RoW under rollback (faulty vs non-faulty)")
@@ -393,8 +394,8 @@ func Table4(r *Runner) (*FigureResult, error) {
 // (max 7.4) and IPC +15.6%/+16.7% (MP/MT) for full PCMap. With
 // includeAvgMT the multithreaded average covers all 13 PARSEC programs,
 // matching the paper's Average(MT) definition (Section V).
-func Headline(r *Runner, includeAvgMT bool) (*FigureResult, error) {
-	if err := r.RunAll(evalSpecs(includeAvgMT)); err != nil {
+func Headline(ctx context.Context, r *Runner, includeAvgMT bool) (*FigureResult, error) {
+	if err := r.RunAll(ctx, evalSpecs(includeAvgMT)); err != nil {
 		return nil, err
 	}
 	f := newFigure("headline", "Headline: IRLP and IPC of full PCMap (RWoW-RDE) vs baseline")
@@ -450,7 +451,7 @@ func containsName(set []string, name string) bool {
 // et al., HPCA 2010; Section VII of the paper): pausing lets reads
 // preempt a baseline write at segment boundaries, RoW overlaps them
 // outright. This is an extension beyond the paper's own evaluation.
-func Pausing(r *Runner) (*FigureResult, error) {
+func Pausing(ctx context.Context, r *Runner) (*FigureResult, error) {
 	names := workloads.EvaluationSet()
 	var specs []Spec
 	for _, n := range names {
@@ -459,7 +460,7 @@ func Pausing(r *Runner) (*FigureResult, error) {
 			Spec{Workload: n, Variant: config.Baseline, WritePausing: true},
 			Spec{Workload: n, Variant: config.RWoWRDE})
 	}
-	if err := r.RunAll(specs); err != nil {
+	if err := r.RunAll(ctx, specs); err != nil {
 		return nil, err
 	}
 	f := newFigure("pausing", "Extension: write pausing (HPCA'10) vs PCMap")

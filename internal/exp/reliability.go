@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"pcmap/internal/config"
@@ -38,13 +39,13 @@ var reliabilityPoints = []reliabilityPoint{
 // error. It returns an error if any run shows injected faults with no
 // handling activity at all, which would mean corruption passed through
 // silently.
-func Reliability(r *Runner, workload string, variant config.Variant) (*FigureResult, error) {
+func Reliability(ctx context.Context, r *Runner, workload string, variant config.Variant) (*FigureResult, error) {
 	var specs []Spec
 	for _, p := range reliabilityPoints {
 		specs = append(specs, Spec{Workload: workload, Variant: variant,
 			EnduranceBudget: p.Budget, DriftProb: p.Drift, VerifyWrites: true})
 	}
-	if err := r.RunAll(specs); err != nil {
+	if err := r.RunAll(ctx, specs); err != nil {
 		return nil, err
 	}
 	f := newFigure("reliability", fmt.Sprintf(

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"testing"
 
 	"pcmap/internal/config"
@@ -10,7 +11,7 @@ import (
 // internal no-silent-corruption cross-check passes: Reliability itself
 // errors out if any point injects faults that no handling counter saw.
 func TestReliabilitySweep(t *testing.T) {
-	f, err := Reliability(testRunner(), "MP4", config.RWoWRDE)
+	f, err := Reliability(context.Background(), testRunner(), "MP4", config.RWoWRDE)
 	if err != nil {
 		t.Fatal(err)
 	}

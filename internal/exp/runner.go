@@ -6,6 +6,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -39,7 +41,10 @@ type Spec struct {
 	Seed         uint64
 }
 
-// Runner executes and memoizes simulation runs.
+// Runner executes, memoizes, and optionally disk-caches simulation
+// runs. Concurrent callers of the same Spec share one in-flight
+// execution (single-flight); completed results are memoized in memory
+// and, when Cache is set, persisted so an interrupted sweep can resume.
 type Runner struct {
 	// Warmup and Measure are per-core instruction budgets. The paper
 	// runs 200M + 1B; our synthetic generators are stationary so far
@@ -50,8 +55,29 @@ type Runner struct {
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(string)
 
-	mu   sync.Mutex
-	memo map[Spec]*system.Results
+	// Cache, when non-nil, persists every executed run's Results to
+	// disk (content-addressed by Spec + resolved config + budgets).
+	// Writes happen regardless of Resume; reads only when Resume is
+	// set, so a non-resume sweep reproduces results from scratch while
+	// still leaving a cache behind.
+	Cache *DiskCache
+	// Resume loads previously cached results instead of re-simulating.
+	Resume bool
+	// Retries is how many times a failed simulation is re-attempted
+	// before the failure is reported (0 = fail on first error). Sims
+	// are deterministic, so this guards against environmental
+	// failures, not simulation bugs; a sweep with retries degrades to
+	// partial results (everything already completed stays cached)
+	// instead of losing the whole run.
+	Retries int
+
+	mu    sync.Mutex
+	memo  map[Spec]*system.Results
+	calls map[Spec]*inflight
+
+	// simulate executes one run; tests substitute it to count or fail
+	// executions without building real systems.
+	simulate func(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error)
 
 	// Sweep throughput accounting: executed (non-memoized) sims, the
 	// engine events they stepped, and their summed per-sim wall time.
@@ -60,6 +86,14 @@ type Runner struct {
 	sims     uint64
 	events   uint64
 	simsWall time.Duration
+	hits     uint64 // disk-cache loads (resume)
+}
+
+// inflight is one in-progress execution other callers can wait on.
+type inflight struct {
+	done chan struct{} // closed when res/err are set
+	res  *system.Results
+	err  error
 }
 
 // NewRunner returns a runner with sensible experiment budgets.
@@ -87,32 +121,122 @@ func (r *Runner) configFor(s Spec) *config.Config {
 	return cfg
 }
 
-// Run executes (or returns the memoized result of) one spec.
-func (r *Runner) Run(s Spec) (*system.Results, error) {
-	r.mu.Lock()
-	if r.memo == nil {
-		r.memo = make(map[Spec]*system.Results)
+// runSimulation is the default simulate implementation: build the
+// system and run the warmup/measure protocol.
+func runSimulation(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+	sys, err := system.Build(cfg, workload)
+	if err != nil {
+		return nil, err
 	}
+	return sys.Run(warmup, measure)
+}
+
+// Run executes (or returns the memoized result of) one spec. It is
+// RunCtx without cancellation.
+func (r *Runner) Run(s Spec) (*system.Results, error) {
+	return r.RunCtx(context.Background(), s)
+}
+
+// RunCtx executes one spec, deduplicating concurrent callers: however
+// many goroutines ask for the same Spec, exactly one simulation runs
+// and all callers receive its result. ctx cancels waiting and prevents
+// new executions from starting; an execution already in progress runs
+// to completion (simulations are not interruptible mid-run) but its
+// result still lands in the memo and cache for a later resume.
+func (r *Runner) RunCtx(ctx context.Context, s Spec) (*system.Results, error) {
+	r.mu.Lock()
 	if res, ok := r.memo[s]; ok {
 		r.mu.Unlock()
 		return res, nil
 	}
+	if c, ok := r.calls[s]; ok {
+		// Another goroutine is already executing this spec: wait for it
+		// (or for cancellation) instead of running a duplicate.
+		r.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if r.calls == nil {
+		r.calls = make(map[Spec]*inflight)
+	}
+	c := &inflight{done: make(chan struct{})}
+	r.calls[s] = c
 	r.mu.Unlock()
 
-	sys, err := system.Build(r.configFor(s), s.Workload)
-	if err != nil {
+	c.res, c.err = r.execute(ctx, s)
+
+	r.mu.Lock()
+	if c.err == nil {
+		if r.memo == nil {
+			r.memo = make(map[Spec]*system.Results)
+		}
+		r.memo[s] = c.res
+	}
+	// Failed calls leave no memo entry, so a later identical Run (e.g.
+	// after the caller clears an environmental problem) re-executes.
+	delete(r.calls, s)
+	r.mu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
+
+// execute runs one spec for real: disk-cache lookup (when resuming),
+// then up to 1+Retries simulation attempts, then a cache store.
+func (r *Runner) execute(ctx context.Context, s Spec) (*system.Results, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	//pcmaplint:ignore nodeterminism wall-clock feeds only stderr throughput reporting, never simulation results
-	start := time.Now()
-	res, err := sys.Run(r.Warmup, r.Measure)
-	if err != nil {
-		return nil, fmt.Errorf("exp: %s/%s: %w", s.Workload, s.Variant, err)
+	cfg := r.configFor(s)
+	var key string
+	if r.Cache != nil {
+		key = CacheKey(s, cfg, r.Warmup, r.Measure)
+		if r.Resume {
+			if res, ok := r.Cache.Load(key); ok {
+				r.mu.Lock()
+				r.hits++
+				r.mu.Unlock()
+				if r.Progress != nil {
+					r.Progress(fmt.Sprintf("cached %-14s %-9s IPC=%.2f IRLP=%.2f",
+						s.Workload, s.Variant, res.IPCSum, res.IRLPAvg))
+				}
+				return res, nil
+			}
+		}
 	}
-	//pcmaplint:ignore nodeterminism wall-clock feeds only stderr throughput reporting, never simulation results
-	elapsed := time.Since(start)
+
+	sim := r.simulate
+	if sim == nil {
+		sim = runSimulation
+	}
+	var (
+		res     *system.Results
+		err     error
+		elapsed time.Duration
+	)
+	for attempt := 0; ; attempt++ {
+		//pcmaplint:ignore nodeterminism wall-clock feeds only stderr throughput reporting, never simulation results
+		start := time.Now()
+		res, err = sim(cfg, s.Workload, r.Warmup, r.Measure)
+		//pcmaplint:ignore nodeterminism wall-clock feeds only stderr throughput reporting, never simulation results
+		elapsed = time.Since(start)
+		if err == nil {
+			break
+		}
+		if attempt >= r.Retries || ctx.Err() != nil {
+			return nil, fmt.Errorf("exp: %s/%s (attempt %d/%d): %w",
+				s.Workload, s.Variant, attempt+1, r.Retries+1, err)
+		}
+		if r.Progress != nil {
+			r.Progress(fmt.Sprintf("retry  %-14s %-9s attempt %d/%d: %v",
+				s.Workload, s.Variant, attempt+2, r.Retries+1, err))
+		}
+	}
+
 	r.mu.Lock()
-	r.memo[s] = res
 	r.sims++
 	r.events += res.Events
 	r.simsWall += elapsed
@@ -121,6 +245,11 @@ func (r *Runner) Run(s Spec) (*system.Results, error) {
 		r.Progress(fmt.Sprintf("ran %-14s %-9s IPC=%.2f IRLP=%.2f wall=%6.2fs %5.1fM ev/s",
 			s.Workload, s.Variant, res.IPCSum, res.IRLPAvg,
 			elapsed.Seconds(), eventsPerSec(res.Events, elapsed)/1e6))
+	}
+	if r.Cache != nil {
+		if err := r.Cache.Store(key, res); err != nil {
+			return nil, fmt.Errorf("exp: %s/%s: %w", s.Workload, s.Variant, err)
+		}
 	}
 	return res, nil
 }
@@ -133,19 +262,34 @@ func eventsPerSec(events uint64, wall time.Duration) float64 {
 	return float64(events) / wall.Seconds()
 }
 
-// Totals reports the number of simulations actually executed (memo hits
-// excluded), the engine events they stepped, and their summed per-sim
-// wall time. With parallel workers the wall total exceeds elapsed real
-// time; events/totals therefore measure per-worker simulation-thread
-// throughput.
+// Totals reports the number of simulations actually executed (memo and
+// disk-cache hits excluded), the engine events they stepped, and their
+// summed per-sim wall time. With parallel workers the wall total
+// exceeds elapsed real time; events/totals therefore measure per-worker
+// simulation-thread throughput.
 func (r *Runner) Totals() (sims, events uint64, wall time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.sims, r.events, r.simsWall
 }
 
-// RunAll executes specs concurrently, stopping at the first error.
-func (r *Runner) RunAll(specs []Spec) error {
+// CacheHits reports how many runs were satisfied from the disk cache.
+func (r *Runner) CacheHits() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits
+}
+
+// RunAll executes specs concurrently. Dispatch genuinely stops at the
+// first failure (or when ctx is cancelled): no spec is handed to a
+// worker after a worker has reported an error. Simulations already in
+// flight run to completion — they are not interruptible — and their
+// results stay memoized and cached, so a failed or interrupted sweep
+// keeps its partial results and can resume. The returned error is the
+// errors.Join of every worker failure, plus ctx.Err() when the caller's
+// context was cancelled; internal halt noise (workers observing the
+// sweep's own cancellation) is filtered out.
+func (r *Runner) RunAll(ctx context.Context, specs []Spec) error {
 	par := r.Parallelism
 	if par <= 0 {
 		par = runtime.NumCPU()
@@ -156,27 +300,50 @@ func (r *Runner) RunAll(specs []Spec) error {
 	if par < 1 {
 		par = 1
 	}
+	sweep, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	work := make(chan Spec)
-	errc := make(chan error, len(specs))
-	var wg sync.WaitGroup
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		errs []error
+	)
 	for i := 0; i < par; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for s := range work {
-				if _, err := r.Run(s); err != nil {
-					errc <- err
+				_, err := r.RunCtx(sweep, s)
+				if err == nil {
+					continue
 				}
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					// The sweep is already halting; the caller's own
+					// ctx.Err() is appended once below if it caused it.
+					continue
+				}
+				emu.Lock()
+				errs = append(errs, err)
+				emu.Unlock()
+				cancel() // halt dispatch; drain remaining specs cheaply
 			}
 		}()
 	}
+dispatch:
 	for _, s := range specs {
-		work <- s
+		select {
+		case work <- s:
+		case <-sweep.Done():
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
-	close(errc)
-	return <-errc
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // MustRun is Run for callers that already ran RunAll successfully.

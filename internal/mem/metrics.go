@@ -51,7 +51,11 @@ type Metrics struct {
 
 	FirstArrival sim.Time
 	LastDone     sim.Time
-	haveArrival  bool
+	// HaveArrival distinguishes "no request observed" from a first
+	// arrival at time zero. Exported so the whole block (and therefore
+	// system.Results) serializes for the experiment runner's disk cache;
+	// treat it as read-only outside NoteArrival/Merge/Reset.
+	HaveArrival bool
 }
 
 // NewMetrics returns a zeroed metrics block.
@@ -67,9 +71,9 @@ func NewMetrics() *Metrics {
 
 // NoteArrival records the first request arrival (throughput window).
 func (m *Metrics) NoteArrival(t sim.Time) {
-	if !m.haveArrival || t < m.FirstArrival {
+	if !m.HaveArrival || t < m.FirstArrival {
 		m.FirstArrival = t
-		m.haveArrival = true
+		m.HaveArrival = true
 	}
 }
 
@@ -127,7 +131,7 @@ func (m *Metrics) Reset() {
 	m.IRLP = stats.NewIRLP()
 	m.FirstArrival = 0
 	m.LastDone = 0
-	m.haveArrival = false
+	m.HaveArrival = false
 }
 
 // NamedCounter is one row of the Counters report.
@@ -201,7 +205,7 @@ func (m *Metrics) Merge(other *Metrics) {
 	stats.MergeLatency(m.WriteLatency, other.WriteLatency)
 	stats.MergeLatency(m.VerifyLatency, other.VerifyLatency)
 	stats.MergeHistogram(m.DirtyWords, other.DirtyWords)
-	if other.haveArrival {
+	if other.HaveArrival {
 		m.NoteArrival(other.FirstArrival)
 	}
 	m.NoteDone(other.LastDone)

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pcmap/internal/sim"
+)
+
+// JSON codecs for the measurement types, so a *system.Results (and the
+// mem.Metrics block inside it) round-trips through encoding/json with
+// full fidelity. The experiment runner's disk-backed result cache
+// depends on this: a resumed sweep must reproduce byte-identical report
+// output from cached results, so every count, bucket, and float must
+// survive the trip exactly. encoding/json emits float64 in the shortest
+// form that parses back to the same bits, so sums and means stored here
+// are exact, not approximations.
+
+// MarshalJSON encodes the counter as its bare count.
+func (c Counter) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.n)
+}
+
+// UnmarshalJSON decodes a bare count.
+func (c *Counter) UnmarshalJSON(data []byte) error {
+	return json.Unmarshal(data, &c.n)
+}
+
+// histogramJSON is Histogram's wire form: the dense bucket slice (these
+// histograms are small — Figure 2's has nine buckets) plus the sample
+// total.
+type histogramJSON struct {
+	Buckets []uint64 `json:"buckets"`
+	Total   uint64   `json:"total"`
+}
+
+// MarshalJSON encodes the histogram's buckets and total.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Buckets: h.buckets, Total: h.total})
+}
+
+// UnmarshalJSON decodes a histogram produced by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	h.buckets, h.total = w.Buckets, w.Total
+	return nil
+}
+
+// latencyJSON is LatencyTracker's wire form. The bucket array is large
+// (100k one-nanosecond buckets) and almost entirely zero, so it is
+// encoded sparsely as [bucket, count] pairs in ascending bucket order.
+type latencyJSON struct {
+	BucketCount int          `json:"bucketCount"`
+	Samples     [][2]uint64  `json:"samples,omitempty"`
+	Total       uint64       `json:"total"`
+	SumNS       float64      `json:"sumNS"`
+	MaxNS       float64      `json:"maxNS"`
+}
+
+// MarshalJSON encodes the tracker sparsely.
+func (l *LatencyTracker) MarshalJSON() ([]byte, error) {
+	w := latencyJSON{BucketCount: len(l.buckets), Total: l.total, SumNS: l.sumNS, MaxNS: l.maxNS}
+	for i, n := range l.buckets {
+		if n != 0 {
+			w.Samples = append(w.Samples, [2]uint64{uint64(i), n})
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a tracker produced by MarshalJSON.
+func (l *LatencyTracker) UnmarshalJSON(data []byte) error {
+	var w latencyJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	l.buckets = nil
+	if w.BucketCount > 0 {
+		l.buckets = make([]uint64, w.BucketCount)
+	}
+	for _, s := range w.Samples {
+		i := s[0]
+		if i >= uint64(len(l.buckets)) {
+			return fmt.Errorf("stats: latency sample bucket %d out of range %d", i, len(l.buckets))
+		}
+		l.buckets[i] = s[1]
+	}
+	l.total, l.sumNS, l.maxNS = w.Total, w.SumNS, w.MaxNS
+	return nil
+}
+
+// irlpJSON is IRLP's wire form: the finalized summary plus any
+// unfinalized interval deltas as [at, write, chip] triples.
+type irlpJSON struct {
+	Finalized bool       `json:"finalized"`
+	Avg       float64    `json:"avg"`
+	MaxBusy   int        `json:"maxBusy"`
+	BusyTime  sim.Time   `json:"busyTime"`
+	Deltas    [][3]int64 `json:"deltas,omitempty"`
+}
+
+// MarshalJSON encodes the tracker, finalized or not.
+func (x *IRLP) MarshalJSON() ([]byte, error) {
+	w := irlpJSON{Finalized: x.finalized, Avg: x.avg, MaxBusy: x.maxBusy, BusyTime: x.busyTime}
+	for _, d := range x.deltas {
+		w.Deltas = append(w.Deltas, [3]int64{d.at.Ticks(), int64(d.write), int64(d.chip)})
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a tracker produced by MarshalJSON.
+func (x *IRLP) UnmarshalJSON(data []byte) error {
+	var w irlpJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	x.finalized, x.avg, x.maxBusy, x.busyTime = w.Finalized, w.Avg, w.MaxBusy, w.BusyTime
+	x.deltas = nil
+	for _, d := range w.Deltas {
+		x.deltas = append(x.deltas, irlpDelta{at: sim.Time(d[0]), write: int8(d[1]), chip: int8(d[2])})
+	}
+	return nil
+}

@@ -1,8 +1,16 @@
 package stats
 
 // MergeHistogram folds src's buckets into dst. Bucket counts beyond
-// dst's range clamp into dst's last bucket.
+// dst's range clamp into dst's last bucket. A dst with no buckets (the
+// zero value) adopts src's bucket count first, so merging into a
+// zero-value histogram behaves like merging into an equal-sized one.
 func MergeHistogram(dst, src *Histogram) {
+	if len(src.buckets) == 0 {
+		return
+	}
+	if len(dst.buckets) == 0 {
+		dst.buckets = make([]uint64, len(src.buckets))
+	}
 	for v, n := range src.buckets {
 		if n == 0 {
 			continue
@@ -16,10 +24,23 @@ func MergeHistogram(dst, src *Histogram) {
 	}
 }
 
-// MergeLatency folds src's samples into dst.
+// MergeLatency folds src's samples into dst. Like MergeHistogram, a
+// shorter dst clamps src's overflow into its last bucket and an empty
+// (zero-value) dst adopts src's bucket count, instead of panicking on
+// an out-of-range index.
 func MergeLatency(dst, src *LatencyTracker) {
+	if len(dst.buckets) == 0 && len(src.buckets) > 0 {
+		dst.buckets = make([]uint64, len(src.buckets))
+	}
 	for i, n := range src.buckets {
-		dst.buckets[i] += n
+		if n == 0 {
+			continue
+		}
+		j := i
+		if j >= len(dst.buckets) {
+			j = len(dst.buckets) - 1
+		}
+		dst.buckets[j] += n
 	}
 	dst.total += src.total
 	dst.sumNS += src.sumNS

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+
+	"pcmap/internal/sim"
+)
+
+// histWith builds a histogram with n buckets and the given samples.
+func histWith(n int, samples ...int) *Histogram {
+	h := NewHistogram(n)
+	for _, s := range samples {
+		h.Add(s)
+	}
+	return h
+}
+
+// TestMergeHistogramClamps is the table-driven edge-case guard for the
+// destination-size mismatches that used to panic: an empty (zero-value)
+// dst indexed bucket -1, and a shorter dst indexed past its end.
+func TestMergeHistogramClamps(t *testing.T) {
+	cases := []struct {
+		name        string
+		dst, src    *Histogram
+		wantBuckets []uint64
+		wantTotal   uint64
+	}{
+		{"equal sizes", histWith(3, 0, 1), histWith(3, 1, 2), []uint64{1, 2, 1}, 4},
+		{"empty zero-value dst adopts src size", &Histogram{}, histWith(3, 0, 2, 2), []uint64{1, 0, 2}, 3},
+		{"empty src is a no-op", histWith(2, 1), &Histogram{}, []uint64{0, 1}, 1},
+		{"both empty", &Histogram{}, &Histogram{}, nil, 0},
+		{"shorter dst clamps overflow into last bucket", histWith(2, 0), histWith(5, 1, 3, 4, 4), []uint64{1, 4}, 5},
+		{"longer dst keeps src positions", histWith(5, 4), histWith(2, 0, 1, 1), []uint64{1, 2, 0, 0, 1}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			MergeHistogram(tc.dst, tc.src)
+			if !reflect.DeepEqual(tc.dst.buckets, tc.wantBuckets) {
+				t.Errorf("buckets = %v, want %v", tc.dst.buckets, tc.wantBuckets)
+			}
+			if tc.dst.total != tc.wantTotal {
+				t.Errorf("total = %d, want %d", tc.dst.total, tc.wantTotal)
+			}
+		})
+	}
+}
+
+// latWith builds a tracker with n one-ns buckets and the given samples.
+func latWith(n int, samplesNS ...int) *LatencyTracker {
+	l := &LatencyTracker{buckets: make([]uint64, n)}
+	for _, s := range samplesNS {
+		l.Add(sim.Nanosecond.Times(s))
+	}
+	return l
+}
+
+// TestMergeLatencyClamps covers the same mismatch matrix for
+// LatencyTracker, which used to index dst out of range when dst was
+// shorter than src (including the empty zero value).
+func TestMergeLatencyClamps(t *testing.T) {
+	cases := []struct {
+		name      string
+		dst, src  *LatencyTracker
+		wantLast  uint64 // count in dst's last bucket after merge
+		wantTotal uint64
+	}{
+		{"equal sizes", latWith(10, 3, 9), latWith(10, 9), 2, 3},
+		{"empty zero-value dst adopts src size", &LatencyTracker{}, latWith(10, 4, 9), 1, 2},
+		{"shorter dst clamps overflow", latWith(5, 4), latWith(10, 7, 9, 9), 4, 4},
+		{"empty src is a no-op", latWith(5, 4), &LatencyTracker{}, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			MergeLatency(tc.dst, tc.src)
+			if tc.dst.total != tc.wantTotal {
+				t.Errorf("total = %d, want %d", tc.dst.total, tc.wantTotal)
+			}
+			if n := len(tc.dst.buckets); n > 0 {
+				if got := tc.dst.buckets[n-1]; got != tc.wantLast {
+					t.Errorf("last bucket = %d, want %d", got, tc.wantLast)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeLatencyStats checks the scalar summary fields merge too.
+func TestMergeLatencyStats(t *testing.T) {
+	dst, src := latWith(100, 10), latWith(100, 20, 30)
+	MergeLatency(dst, src)
+	if dst.Count() != 3 {
+		t.Errorf("count = %d, want 3", dst.Count())
+	}
+	if got := dst.MeanNS(); got < 19.9 || got > 20.1 {
+		t.Errorf("mean = %g, want 20", got)
+	}
+	if got := dst.MaxNS(); got < 29.9 || got > 30.1 {
+		t.Errorf("max = %g, want 30", got)
+	}
+}

@@ -1,0 +1,32 @@
+// Results serialization for the experiment runner's disk-backed result
+// cache. A Results round-trips through EncodeResults/DecodeResults with
+// full fidelity: every counter, latency bucket, and float is restored
+// bit-identically (encoding/json emits float64 in shortest-round-trip
+// form), so report output rendered from a decoded Results is
+// byte-identical to output rendered from the original run.
+package system
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// EncodeResults serializes r to JSON.
+func EncodeResults(r *Results) ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("system: encode nil Results")
+	}
+	return json.Marshal(r)
+}
+
+// DecodeResults deserializes a Results produced by EncodeResults.
+func DecodeResults(data []byte) (*Results, error) {
+	var r Results
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("system: decode Results: %w", err)
+	}
+	if r.Mem == nil {
+		return nil, fmt.Errorf("system: decoded Results has no memory metrics")
+	}
+	return &r, nil
+}
