@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint figures bench bench-check profile sweep-smoke
+.PHONY: build test race lint figures bench bench-check profile sweep-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,12 @@ bench-check:
 # with -resume, and require byte-identical stdout. CI runs this.
 sweep-smoke:
 	sh scripts/sweep_smoke.sh
+
+# Observability smoke test: a traced adhoc run must keep stdout
+# byte-identical to an untraced one and emit valid Chrome trace_event
+# JSON with per-bank spans and stall instants. CI runs this.
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 # Capture CPU and heap profiles of a full figure regeneration; inspect
 # with `go tool pprof cpu.prof` (see DESIGN.md §8).

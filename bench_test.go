@@ -12,6 +12,7 @@ import (
 	"pcmap/internal/ecc"
 	"pcmap/internal/exp"
 	"pcmap/internal/mem"
+	"pcmap/internal/obs"
 	"pcmap/internal/sim"
 	"pcmap/internal/system"
 
@@ -397,6 +398,31 @@ func BenchmarkEngineTimer(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	tm.Schedule(0)
+	eng.Run()
+}
+
+// BenchmarkEngineTraceDisabled measures the event hot loop with the
+// observability layer present but disabled: a nil tracer's emission
+// methods and an engine without a step hook. The ledger pins this at
+// 0 allocs/op — the disabled-tracer contract (tracing off must cost
+// one predictable branch per call site, never an allocation).
+func BenchmarkEngineTraceDisabled(b *testing.B) {
+	eng := sim.NewEngine()
+	var tr *obs.Tracer // disabled: every method is a nil-receiver no-op
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		tr.Span(0, 0, eng.Now(), sim.MemCycle)
+		tr.Instant(0, 0, eng.Now())
+		tr.Count(0, 0, eng.Now(), int64(n))
+		if n < b.N {
+			eng.Schedule(sim.MemCycle, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Schedule(0, tick)
 	eng.Run()
 }
 

@@ -10,10 +10,12 @@
 //
 //	go test -bench=. -benchmem . | pcmapbench -check BENCH_3.json
 //	    fails (exit 1) when the fresh run's allocs/op exceed the
-//	    ledger's current allocs/op by more than 10% + 1. Allocation
-//	    counts are deterministic — unlike ns/op, which varies with CI
-//	    machine load — so this is the regression gate: reintroducing a
-//	    boxed event or a per-arm closure trips it immediately.
+//	    ledger's current allocs/op by more than 10% + 1 — or by
+//	    anything at all when the ledger records 0 (allocation-free is
+//	    a contract, not a measurement). Allocation counts are
+//	    deterministic — unlike ns/op, which varies with CI machine
+//	    load — so this is the regression gate: reintroducing a boxed
+//	    event or a per-arm closure trips it immediately.
 package main
 
 import (
@@ -25,6 +27,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"pcmap/internal/cli"
 )
 
 // Result is one benchmark's measured numbers.
@@ -41,11 +45,14 @@ type Ledger struct {
 	Current  map[string]Result `json:"current"`
 }
 
+// defineFlags builds the flag surface (pinned by TestFlagSurface).
+func defineFlags(fs *flag.FlagSet) (out, check *string) {
+	return cli.Out(fs, "", "write/update this ledger from stdin"),
+		fs.String("check", "", "compare stdin against this ledger's allocs/op")
+}
+
 func main() {
-	var (
-		out   = flag.String("out", "", "write/update this ledger from stdin")
-		check = flag.String("check", "", "compare stdin against this ledger's allocs/op")
-	)
+	out, check := defineFlags(flag.CommandLine)
 	flag.Parse()
 	if (*out == "") == (*check == "") {
 		fatal(fmt.Errorf("need exactly one of -out or -check"))
@@ -153,7 +160,9 @@ func writeLedger(path string, run map[string]Result) error {
 // than the committed current numbers. The 10%+1 slack absorbs benchmark
 // jitter on end-to-end benches (whose counts are in the thousands)
 // while still catching a single reintroduced boxing on the 0-alloc
-// hot-path benches.
+// hot-path benches. A ledger value of exactly 0 is strict: allocation-
+// free is a contract (engine hot loop, disabled tracer), and the first
+// allocation on such a path is the regression, so no slack applies.
 func checkLedger(path string, run map[string]Result) error {
 	led, err := readLedger(path)
 	if err != nil {
@@ -167,6 +176,9 @@ func checkLedger(path string, run map[string]Result) error {
 			continue
 		}
 		limit := want.AllocsPerOp + want.AllocsPerOp/10 + 1
+		if want.AllocsPerOp == 0 {
+			limit = 0
+		}
 		if got := run[name].AllocsPerOp; got > limit {
 			failures = append(failures,
 				fmt.Sprintf("%s: %d allocs/op, ledger %d (limit %d)", name, got, want.AllocsPerOp, limit))

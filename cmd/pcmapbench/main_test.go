@@ -75,17 +75,17 @@ func TestCheckLedger(t *testing.T) {
 		t.Fatalf("identical run: %v", err)
 	}
 	ok := map[string]Result{
-		"BenchmarkEngine": {AllocsPerOp: 1},       // limit = 0 + 0 + 1
-		"BenchmarkFig1":   {AllocsPerOp: 109_000}, // limit = 100000 + 10000 + 1
+		"BenchmarkFig1": {AllocsPerOp: 109_000}, // limit = 100000 + 10000 + 1
 	}
 	if err := checkLedger(path, ok); err != nil {
 		t.Fatalf("within-slack run: %v", err)
 	}
 
-	// A reintroduced boxing on a 0-alloc bench (2 allocs/op) fails.
-	bad := map[string]Result{"BenchmarkEngine": {AllocsPerOp: 2}}
+	// A 0 in the ledger is strict: the first allocation on an
+	// allocation-free path fails, with no slack.
+	bad := map[string]Result{"BenchmarkEngine": {AllocsPerOp: 1}}
 	if err := checkLedger(path, bad); err == nil {
-		t.Fatal("2 allocs/op vs 0-alloc ledger passed the check")
+		t.Fatal("1 alloc/op vs 0-alloc ledger passed the check")
 	}
 
 	// Unknown benchmarks are reported but not fatal (new benches land

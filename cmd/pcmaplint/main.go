@@ -41,9 +41,14 @@ import (
 // deliberate.
 var floatCmpScope = regexp.MustCompile(`(^|/)(stats|energy|exp)(/|$)`)
 
+// defineFlags builds the flag surface (pinned by TestFlagSurface).
+func defineFlags(fs *flag.FlagSet) (vet *bool, dir *string) {
+	return fs.Bool("vet", true, "also run `go vet` over the same packages"),
+		fs.String("dir", ".", "module directory to analyze")
+}
+
 func main() {
-	vet := flag.Bool("vet", true, "also run `go vet` over the same packages")
-	dir := flag.String("dir", ".", "module directory to analyze")
+	vet, dir := defineFlags(flag.CommandLine)
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {

@@ -14,6 +14,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"pcmap/internal/cli"
 )
 
 // figure mirrors exp.FigureResult's JSON shape (kept local so the tool
@@ -39,8 +41,13 @@ var paperRef = map[string]string{
 	"headline": "IRLP 2.37->4.5 (max 7.4); IPC +15.6% (MP) / +16.7% (MT)",
 }
 
+// defineFlags builds the flag surface (pinned by TestFlagSurface).
+func defineFlags(fs *flag.FlagSet) (in *string) {
+	return cli.In(fs, "results.json", "JSON file written by pcmapsim -json")
+}
+
 func main() {
-	in := flag.String("in", "results.json", "JSON file written by pcmapsim -json")
+	in := defineFlags(flag.CommandLine)
 	flag.Parse()
 
 	data, err := os.ReadFile(*in)

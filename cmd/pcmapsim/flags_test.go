@@ -1,0 +1,26 @@
+package main
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+
+	"pcmap/internal/cli"
+)
+
+// TestFlagSurface pins pcmapsim's command-line interface. The literal
+// list below is the reviewed surface: adding, renaming, or dropping a
+// flag must update it, making interface changes visible in review.
+func TestFlagSurface(t *testing.T) {
+	fs := flag.NewFlagSet("pcmapsim", flag.ContinueOnError)
+	defineFlags(fs)
+	want := []string{
+		"avgmt", "cache", "cpuprofile", "drift", "endurance", "exp",
+		"format", "json", "measure", "memprofile", "par", "pausing",
+		"ratio", "resume", "retries", "seed", "trace", "tracesample",
+		"v", "variant", "verify", "warmup", "workload",
+	}
+	if got := cli.Surface(fs); !reflect.DeepEqual(got, want) {
+		t.Errorf("flag surface changed:\n got %v\nwant %v", got, want)
+	}
+}

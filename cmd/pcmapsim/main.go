@@ -8,6 +8,7 @@
 //	pcmapsim -exp all -json out.json   # everything, plus raw series
 //	pcmapsim -exp fig11 -avgmt         # include the Average(MT) PARSEC sweep
 //	pcmapsim -exp adhoc -workload MP4 -variant RWoW-RDE
+//	pcmapsim -exp adhoc -workload stream -trace out.json   # timeline trace
 package main
 
 import (
@@ -23,34 +24,97 @@ import (
 	"strings"
 	"syscall"
 
+	"pcmap/internal/cli"
 	"pcmap/internal/config"
 	"pcmap/internal/exp"
+	"pcmap/internal/obs"
 )
 
+// simFlags is pcmapsim's full flag surface, defined through the shared
+// vocabulary in internal/cli where a flag is common across tools and
+// pinned by TestFlagSurface.
+type simFlags struct {
+	exp       *string
+	warmup    *uint64
+	measure   *uint64
+	avgmt     *bool
+	format    *string
+	jsonPath  *string
+	par       *int
+	verbose   *bool
+	workload  *string
+	variant   *string
+	seed      *uint64
+	ratio     *float64
+	pausing   *bool
+	endurance *uint64
+	drift     *float64
+	verify    *bool
+	tracePath *string
+	traceSmpl *int
+	cacheDir  *string
+	resume    *bool
+	retries   *int
+	cpuProf   *string
+	memProf   *string
+}
+
+func defineFlags(fs *flag.FlagSet) *simFlags {
+	return &simFlags{
+		exp:       fs.String("exp", "headline", "experiment: fig1,fig2,fig8,fig9,fig10,fig11,table2,table3,table4,headline,reliability,all,adhoc"),
+		warmup:    fs.Uint64("warmup", 40_000, "warmup instructions per core"),
+		measure:   fs.Uint64("measure", 400_000, "measured instructions per core"),
+		avgmt:     fs.Bool("avgmt", false, "include the full 13-program PARSEC Average(MT) sweep"),
+		format:    fs.String("format", "md", "output format: md or csv"),
+		jsonPath:  fs.String("json", "", "also write raw series as JSON to this file"),
+		par:       fs.Int("par", 0, "parallel simulations (0 = NumCPU)"),
+		verbose:   fs.Bool("v", false, "print per-run progress"),
+		workload:  cli.Workload(fs, "MP4"),
+		variant:   cli.Variant(fs, "RWoW-RDE"),
+		seed:      cli.Seed(fs, 0),
+		ratio:     fs.Float64("ratio", 0, "adhoc: write-to-read latency ratio override (0 = default 2x)"),
+		pausing:   fs.Bool("pausing", false, "adhoc: enable the write-pausing comparator (baseline only)"),
+		endurance: fs.Uint64("endurance", 0, "adhoc: write-endurance budget before cells stick (0 = perfect cells)"),
+		drift:     fs.Float64("drift", 0, "adhoc: per-read drift bit-flip probability"),
+		verify:    fs.Bool("verify", false, "adhoc: enable the program-and-verify write path"),
+		tracePath: fs.String("trace", "", "adhoc: write a Chrome trace_event timeline of the run to this JSON file"),
+		traceSmpl: fs.Int("tracesample", 1, "adhoc: keep every Nth counter sample in the trace (spans and instants are never sampled)"),
+		cacheDir:  fs.String("cache", "", "persist completed runs to this result-cache directory"),
+		resume:    fs.Bool("resume", false, "load previously cached runs instead of re-simulating (requires -cache)"),
+		retries:   fs.Int("retries", 0, "re-attempt a failed simulation up to this many times"),
+		cpuProf:   fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		memProf:   fs.String("memprofile", "", "write a heap profile to this file at exit"),
+	}
+}
+
 func main() {
-	var (
-		expName   = flag.String("exp", "headline", "experiment: fig1,fig2,fig8,fig9,fig10,fig11,table2,table3,table4,headline,reliability,all,adhoc")
-		warmup    = flag.Uint64("warmup", 40_000, "warmup instructions per core")
-		measure   = flag.Uint64("measure", 400_000, "measured instructions per core")
-		avgmt     = flag.Bool("avgmt", false, "include the full 13-program PARSEC Average(MT) sweep")
-		format    = flag.String("format", "md", "output format: md or csv")
-		jsonPath  = flag.String("json", "", "also write raw series as JSON to this file")
-		par       = flag.Int("par", 0, "parallel simulations (0 = NumCPU)")
-		verbose   = flag.Bool("v", false, "print per-run progress")
-		workload  = flag.String("workload", "MP4", "adhoc/reliability: workload mix")
-		variant   = flag.String("variant", "RWoW-RDE", "adhoc/reliability: system variant")
-		ratio     = flag.Float64("ratio", 0, "adhoc: write-to-read latency ratio override (0 = default 2x)")
-		pausing   = flag.Bool("pausing", false, "adhoc: enable the write-pausing comparator (baseline only)")
-		endurance = flag.Uint64("endurance", 0, "adhoc: write-endurance budget before cells stick (0 = perfect cells)")
-		drift     = flag.Float64("drift", 0, "adhoc: per-read drift bit-flip probability")
-		verify    = flag.Bool("verify", false, "adhoc: enable the program-and-verify write path")
-		cacheDir  = flag.String("cache", "", "persist completed runs to this result-cache directory")
-		resume    = flag.Bool("resume", false, "load previously cached runs instead of re-simulating (requires -cache)")
-		retries   = flag.Int("retries", 0, "re-attempt a failed simulation up to this many times")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
-	)
+	f := defineFlags(flag.CommandLine)
 	flag.Parse()
+	var (
+		expName   = f.exp
+		warmup    = f.warmup
+		measure   = f.measure
+		avgmt     = f.avgmt
+		format    = f.format
+		jsonPath  = f.jsonPath
+		par       = f.par
+		verbose   = f.verbose
+		workload  = f.workload
+		variant   = f.variant
+		seed      = f.seed
+		ratio     = f.ratio
+		pausing   = f.pausing
+		endurance = f.endurance
+		drift     = f.drift
+		verify    = f.verify
+		tracePath = f.tracePath
+		traceSmpl = f.traceSmpl
+		cacheDir  = f.cacheDir
+		resume    = f.resume
+		retries   = f.retries
+		cpuProf   = f.cpuProf
+		memProf   = f.memProf
+	)
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -84,6 +148,12 @@ func main() {
 	if *retries < 0 {
 		fatal(fmt.Errorf("invalid -retries %d (must be >= 0)", *retries))
 	}
+	if *traceSmpl < 1 {
+		fatal(fmt.Errorf("invalid -tracesample %d (must be >= 1)", *traceSmpl))
+	}
+	if *tracePath != "" && *expName != "adhoc" {
+		fatal(fmt.Errorf("invalid -trace: timeline tracing only applies to single runs (-exp adhoc)"))
+	}
 
 	// First SIGINT/SIGTERM cancels the sweep: no new simulations are
 	// dispatched, in-flight ones finish and land in the cache, and the
@@ -112,7 +182,8 @@ func main() {
 	if *expName == "adhoc" {
 		if err := runAdhoc(ctx, r, adhocOpts{
 			workload: *workload, variant: *variant, ratio: *ratio, pausing: *pausing,
-			endurance: *endurance, drift: *drift, verify: *verify,
+			endurance: *endurance, drift: *drift, verify: *verify, seed: *seed,
+			tracePath: *tracePath, traceSample: *traceSmpl,
 		}); err != nil {
 			fatal(err)
 		}
@@ -209,6 +280,9 @@ type adhocOpts struct {
 	endurance         uint64
 	drift             float64
 	verify            bool
+	seed              uint64
+	tracePath         string
+	traceSample       int
 }
 
 func runAdhoc(ctx context.Context, r *exp.Runner, o adhocOpts) error {
@@ -216,11 +290,20 @@ func runAdhoc(ctx context.Context, r *exp.Runner, o adhocOpts) error {
 	if err != nil {
 		return err
 	}
+	if o.tracePath != "" {
+		r.Tracer = obs.New(obs.DefaultCapacity, o.traceSample)
+	}
 	res, err := r.RunCtx(ctx, exp.Spec{Workload: o.workload, Variant: variant,
 		WriteToReadRatio: o.ratio, WritePausing: o.pausing,
-		EnduranceBudget: o.endurance, DriftProb: o.drift, VerifyWrites: o.verify})
+		EnduranceBudget: o.endurance, DriftProb: o.drift, VerifyWrites: o.verify,
+		Seed: o.seed})
 	if err != nil {
 		return err
+	}
+	if r.Tracer != nil {
+		if err := writeTrace(r.Tracer, o.tracePath); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("workload          %s\n", res.Workload)
 	fmt.Printf("variant           %s\n", res.Variant)
@@ -252,6 +335,28 @@ func runAdhoc(ctx context.Context, r *exp.Runner, o adhocOpts) error {
 		}
 	}
 	fmt.Printf("energy            %s\n", res.Energy)
+	return nil
+}
+
+// writeTrace serializes the run's timeline as Chrome trace_event JSON
+// (load it at chrome://tracing or https://ui.perfetto.dev). Trace
+// bookkeeping goes to stderr so stdout stays the run report alone.
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "pcmapsim: trace ring overflowed; the %d oldest records were dropped (the trace covers the end of the run)\n", d)
+	}
+	fmt.Fprintf(os.Stderr, "pcmapsim: wrote %s (%d timeline records)\n", path, tr.Len())
 	return nil
 }
 

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+
+	"pcmap/internal/cli"
+)
+
+// TestFlagSurface pins each subcommand's command-line interface; the
+// literal lists are the reviewed surfaces.
+func TestFlagSurface(t *testing.T) {
+	cases := []struct {
+		sub  string
+		fs   *flag.FlagSet
+		want []string
+	}{
+		{"gen", must(genFlags()), []string{"instr", "out", "seed", "workload"}},
+		{"info", must(infoFlags()), []string{"in"}},
+		{"replay", must(replayFlags()), []string{"in", "variant"}},
+		{"validate", must(validateFlags()), []string{"in"}},
+	}
+	for _, tc := range cases {
+		if got := cli.Surface(tc.fs); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s flag surface changed:\n got %v\nwant %v", tc.sub, got, tc.want)
+		}
+	}
+}
+
+func must[T any](fs *flag.FlagSet, _ T) *flag.FlagSet { return fs }

@@ -1,13 +1,15 @@
 // Command pcmaptrace records, inspects, and replays PCM-level memory
-// request traces.
+// request traces, and validates timeline traces.
 //
 //	pcmaptrace gen -workload canneal -instr 200000 -out canneal.trc
 //	pcmaptrace info -in canneal.trc
 //	pcmaptrace replay -in canneal.trc -variant RWoW-RDE
+//	pcmaptrace validate -in out.json
 //
 // Traces decouple workload generation from controller evaluation: the
 // same request stream can be replayed open-loop against every system
-// variant.
+// variant. The validate subcommand checks a Chrome trace_event JSON
+// timeline written by `pcmapsim -trace` (exit 0 iff well-formed).
 package main
 
 import (
@@ -16,9 +18,11 @@ import (
 	"math/bits"
 	"os"
 
+	"pcmap/internal/cli"
 	"pcmap/internal/config"
 	"pcmap/internal/core"
 	"pcmap/internal/mem"
+	"pcmap/internal/obs"
 	"pcmap/internal/sim"
 	"pcmap/internal/system"
 	"pcmap/internal/trace"
@@ -36,6 +40,8 @@ func main() {
 		err = cmdInfo(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
 	default:
 		usage()
 	}
@@ -46,21 +52,75 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pcmaptrace {gen|info|replay} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pcmaptrace {gen|info|replay|validate} [flags]")
 	os.Exit(2)
 }
 
-func cmdGen(args []string) error {
-	fs := flag.NewFlagSet("gen", flag.ExitOnError)
-	workload := fs.String("workload", "canneal", "workload mix to run")
-	instr := fs.Uint64("instr", 200_000, "instructions per core to simulate")
-	out := fs.String("out", "trace.trc", "output trace file")
-	seed := fs.Uint64("seed", 1, "simulation seed")
+func validateFlags() (*flag.FlagSet, *string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	return fs, cli.In(fs, "trace.json", "timeline trace (Chrome trace_event JSON written by pcmapsim -trace)")
+}
+
+func cmdValidate(args []string) error {
+	fs, in := validateFlags()
 	fs.Parse(args)
 
-	cfg := config.Default()
-	cfg.Seed = *seed
-	s, err := system.Build(cfg, *workload)
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := obs.Validate(f); err != nil {
+		return fmt.Errorf("%s: %w", *in, err)
+	}
+	fmt.Printf("%s: valid trace_event JSON\n", *in)
+	return nil
+}
+
+// genFlags, infoFlags, and replayFlags build each subcommand's flag
+// set through the shared vocabulary in internal/cli; TestFlagSurface
+// pins the resulting surfaces.
+type genOpts struct {
+	workload *string
+	instr    *uint64
+	out      *string
+	seed     *uint64
+}
+
+func genFlags() (*flag.FlagSet, genOpts) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	return fs, genOpts{
+		workload: cli.Workload(fs, "canneal"),
+		instr:    fs.Uint64("instr", 200_000, "instructions per core to simulate"),
+		out:      cli.Out(fs, "trace.trc", "output trace file"),
+		seed:     cli.Seed(fs, 1),
+	}
+}
+
+func infoFlags() (*flag.FlagSet, *string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	return fs, cli.In(fs, "trace.trc", "trace file to inspect")
+}
+
+type replayOpts struct {
+	in      *string
+	variant *string
+}
+
+func replayFlags() (*flag.FlagSet, replayOpts) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	return fs, replayOpts{
+		in:      cli.In(fs, "trace.trc", "trace file to replay"),
+		variant: cli.Variant(fs, "RWoW-RDE"),
+	}
+}
+
+func cmdGen(args []string) error {
+	fs, o := genFlags()
+	fs.Parse(args)
+	workload, instr, out, seed := o.workload, o.instr, o.out, o.seed
+
+	s, err := system.New(system.WithWorkload(*workload), system.WithSeed(*seed))
 	if err != nil {
 		return err
 	}
@@ -82,8 +142,7 @@ func cmdGen(args []string) error {
 }
 
 func cmdInfo(args []string) error {
-	fs := flag.NewFlagSet("info", flag.ExitOnError)
-	in := fs.String("in", "trace.trc", "trace file")
+	fs, in := infoFlags()
 	fs.Parse(args)
 
 	f, err := os.Open(*in)
@@ -133,10 +192,9 @@ func cmdInfo(args []string) error {
 }
 
 func cmdReplay(args []string) error {
-	fs := flag.NewFlagSet("replay", flag.ExitOnError)
-	in := fs.String("in", "trace.trc", "trace file")
-	variantName := fs.String("variant", "RWoW-RDE", "system variant")
+	fs, o := replayFlags()
 	fs.Parse(args)
+	in, variantName := o.in, o.variant
 
 	f, err := os.Open(*in)
 	if err != nil {

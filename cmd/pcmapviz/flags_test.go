@@ -1,0 +1,19 @@
+package main
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+
+	"pcmap/internal/cli"
+)
+
+// TestFlagSurface pins pcmapviz's command-line interface.
+func TestFlagSurface(t *testing.T) {
+	fs := flag.NewFlagSet("pcmapviz", flag.ContinueOnError)
+	defineFlags(fs)
+	want := []string{"fig", "in"}
+	if got := cli.Surface(fs); !reflect.DeepEqual(got, want) {
+		t.Errorf("flag surface changed:\n got %v\nwant %v", got, want)
+	}
+}

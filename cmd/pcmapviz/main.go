@@ -14,6 +14,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"pcmap/internal/cli"
 )
 
 type figure struct {
@@ -25,9 +27,14 @@ type figure struct {
 
 const barWidth = 44
 
+// defineFlags builds the flag surface (pinned by TestFlagSurface).
+func defineFlags(fs *flag.FlagSet) (in, only *string) {
+	return cli.In(fs, "results.json", "JSON written by pcmapsim -json"),
+		fs.String("fig", "", "render only this figure id (e.g. fig8)")
+}
+
 func main() {
-	in := flag.String("in", "results.json", "JSON written by pcmapsim -json")
-	only := flag.String("fig", "", "render only this figure id (e.g. fig8)")
+	in, only := defineFlags(flag.CommandLine)
 	flag.Parse()
 
 	data, err := os.ReadFile(*in)

@@ -36,7 +36,7 @@ func main() {
 	for _, su := range setups {
 		cfg := config.Default().WithVariant(su.variant)
 		cfg.Memory.WearLevelPsi = su.psi
-		s, err := system.Build(cfg, "MP4") // astar x8: the write-heaviest mix
+		s, err := system.New(system.WithConfig(cfg), system.WithWorkload("MP4")) // astar x8: the write-heaviest mix
 		if err != nil {
 			panic(err)
 		}
@@ -52,7 +52,7 @@ func main() {
 	fmt.Println("\nper-chip programming share, channel 0 (D=data, E=ECC, P=PCC):")
 	for _, su := range []setup{{"baseline", config.Baseline, 0}, {"PCMap (rotation)", config.RWoWRDE, 0}} {
 		cfg := config.Default().WithVariant(su.variant)
-		s, err := system.Build(cfg, "MP4")
+		s, err := system.New(system.WithConfig(cfg), system.WithWorkload("MP4"))
 		if err != nil {
 			panic(err)
 		}

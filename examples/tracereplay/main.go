@@ -18,9 +18,9 @@ import (
 )
 
 func main() {
-	// Phase 1: record. An 8-thread canneal run on the baseline system.
-	cfg := config.Default() // baseline variant
-	s, err := system.Build(cfg, "canneal")
+	// Phase 1: record. An 8-thread canneal run on the baseline system
+	// (the default config's variant).
+	s, err := system.New(system.WithWorkload("canneal"))
 	if err != nil {
 		panic(err)
 	}

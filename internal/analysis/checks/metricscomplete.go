@@ -14,18 +14,27 @@ import (
 // into the measured window (Reset), or vanish from reports (Counters)
 // — none of which fails a test on its own.
 //
-// For any struct type named "Metrics" that has stats.Counter fields:
+// The analyzer supports two lifecycle styles.
 //
-//   - each stats.Counter field must be referenced in the Merge, Reset,
-//     and Counters methods;
+// Registry style (current): the Metrics type has one or more bind
+// methods — methods taking a *stats.Registry parameter — that register
+// every counter field by pointer; Merge, Reset, and Counters then
+// delegate to the registry. Here the registration site is the single
+// point of truth, so:
+//
+//   - each stats.Counter field must be referenced in at least one bind
+//     method (an unregistered counter is invisible to every consumer);
 //   - each pointer field whose element type is defined in the stats
-//     package (LatencyTracker, Histogram, IRLP, ...) must be referenced
-//     in Reset (Merge policy for trackers is type-specific, so only
-//     lifecycle completeness is enforced for them);
-//   - the three methods must exist.
+//     package (LatencyTracker, Histogram, IRLP, ...) must still be
+//     referenced in Reset — trackers are not registry-managed;
+//   - the Merge, Reset, and Counters methods must exist.
+//
+// Legacy style (no bind method): each stats.Counter field must be
+// referenced in the Merge, Reset, and Counters methods directly, and
+// tracker fields in Reset, as above.
 var MetricsComplete = &analysis.Analyzer{
 	Name: "metricscomplete",
-	Doc:  "reports Metrics fields missing from the Merge/Reset/Counters lifecycle",
+	Doc:  "reports Metrics counter fields missing from registry binding or the Merge/Reset/Counters lifecycle",
 	Run:  runMetricsComplete,
 }
 
@@ -48,6 +57,11 @@ func runMetricsComplete(pass *analysis.Pass) error {
 			continue
 		}
 		if ptr, ok := f.Type().(*types.Pointer); ok {
+			// The registry index itself is lifecycle infrastructure,
+			// not a measurement, so it is exempt.
+			if namedIn(ptr.Elem(), "stats", "Registry") {
+				continue
+			}
 			if n, ok := ptr.Elem().(*types.Named); ok {
 				if p := n.Obj().Pkg(); p != nil && pkgLast(p.Path()) == "stats" {
 					trackers = append(trackers, f)
@@ -60,22 +74,48 @@ func runMetricsComplete(pass *analysis.Pass) error {
 	}
 
 	methods := map[string]*ast.FuncDecl{}
+	var binders []*ast.FuncDecl
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
 				continue
 			}
-			if recvNamed(pass, fd.Recv.List[0].Type) == tn {
-				methods[fd.Name.Name] = fd
+			if recvNamed(pass, fd.Recv.List[0].Type) != tn {
+				continue
+			}
+			methods[fd.Name.Name] = fd
+			if isBindMethod(pass, fd) {
+				binders = append(binders, fd)
 			}
 		}
 	}
 
+	// Registry style: counters are complete when registered in a bind
+	// method; Merge/Reset/Counters delegate, so only their existence
+	// (and tracker handling in Reset) is checked.
 	required := map[string][]*types.Var{
 		"Merge":    counters,
 		"Reset":    append(append([]*types.Var{}, counters...), trackers...),
 		"Counters": counters,
+	}
+	if len(binders) > 0 {
+		bound := map[*types.Var]bool{}
+		for _, fd := range binders {
+			for v := range fieldsReferenced(pass, fd) {
+				bound[v] = true
+			}
+		}
+		for _, f := range counters {
+			if !bound[f] {
+				pass.Reportf(f.Pos(), "field %s is not registered in any (%s) bind method", f.Name(), tn.Name())
+			}
+		}
+		required = map[string][]*types.Var{
+			"Merge":    nil,
+			"Reset":    trackers,
+			"Counters": nil,
+		}
 	}
 	for _, name := range []string{"Merge", "Reset", "Counters"} {
 		m := methods[name]
@@ -91,6 +131,25 @@ func runMetricsComplete(pass *analysis.Pass) error {
 		}
 	}
 	return nil
+}
+
+// isBindMethod reports whether fd takes a *stats.Registry parameter —
+// the shape of a registry bind method.
+func isBindMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, p := range fd.Type.Params.List {
+		t := pass.TypesInfo.Types[p.Type].Type
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		if namedIn(ptr.Elem(), "stats", "Registry") {
+			return true
+		}
+	}
+	return false
 }
 
 // recvNamed resolves a method receiver type expression to its type

@@ -1,0 +1,49 @@
+// Package metricsregistry exercises the analyzer's registry mode: a
+// Metrics block whose lifecycle delegates to a stats.Registry bound in
+// a bind method. Counters must be registered there; Merge/Counters need
+// not reference fields, but Reset must still rebuild trackers.
+package metricsregistry
+
+import "stats"
+
+// Metrics registers its counters in bind; Dropped is deliberately
+// forgotten, as is the tracker in Reset.
+type Metrics struct {
+	Reads  stats.Counter
+	Writes stats.Counter
+
+	Dropped stats.Counter // want `field Dropped is not registered in any \(Metrics\) bind method`
+
+	ReadLatency *stats.LatencyTracker
+	LostTracker *stats.LatencyTracker // want `field LostTracker is not handled in \(Metrics\)\.Reset`
+
+	reg *stats.Registry
+}
+
+// bind registers the counter fields (all but Dropped).
+func (m *Metrics) bind(r *stats.Registry) {
+	r.Register("reads", &m.Reads)
+	r.Register("writes", &m.Writes)
+}
+
+func (m *Metrics) registry() *stats.Registry {
+	if m.reg == nil {
+		m.reg = stats.NewRegistry()
+		m.bind(m.reg)
+	}
+	return m.reg
+}
+
+// Merge delegates to the registry; no direct field references needed.
+func (m *Metrics) Merge(other *Metrics) {
+	m.registry().Merge(other.registry())
+}
+
+// Reset delegates counters to the registry but forgets LostTracker.
+func (m *Metrics) Reset() {
+	m.registry().Reset()
+	m.ReadLatency = stats.NewLatencyTracker()
+}
+
+// Counters reads through the registry.
+func (m *Metrics) Counters() []string { return nil }

@@ -1,0 +1,55 @@
+// Package cli is the shared flag vocabulary of the pcmap command-line
+// tools. A concept that appears in more than one binary — the workload
+// mix, the system variant, the simulation seed, a tool's main input or
+// output file — must be spelled the same way everywhere, so each such
+// flag has exactly one constructor here. Commands define their flags
+// through these constructors and pin the resulting surface with a
+// TestFlagSurface regression test (see Surface), which turns a rename
+// or a drive-by addition into a visible test diff instead of a silent
+// interface change.
+package cli
+
+import (
+	"flag"
+	"sort"
+)
+
+// Workload defines the canonical -workload flag selecting the workload
+// mix to simulate (Table II names; see internal/workloads).
+func Workload(fs *flag.FlagSet, def string) *string {
+	return fs.String("workload", def, "workload mix to simulate (e.g. MP4, stream, canneal)")
+}
+
+// Variant defines the canonical -variant flag selecting the system
+// variant (see config.Variants).
+func Variant(fs *flag.FlagSet, def string) *string {
+	return fs.String("variant", def, "system variant (Baseline, RoW-NR, WoW-NR, RWoW-NR, RWoW-RD, RWoW-RDE)")
+}
+
+// Seed defines the canonical -seed flag overriding the simulation's
+// base random seed. Commands that treat 0 as "keep the config default"
+// say so in their own documentation.
+func Seed(fs *flag.FlagSet, def uint64) *uint64 {
+	return fs.Uint64("seed", def, "simulation seed (0 = config default)")
+}
+
+// In defines the canonical -in flag naming a tool's input file. The
+// help string states what the file is, since that differs per tool.
+func In(fs *flag.FlagSet, def, help string) *string {
+	return fs.String("in", def, help)
+}
+
+// Out defines the canonical -out flag naming a tool's output file.
+func Out(fs *flag.FlagSet, def, help string) *string {
+	return fs.String("out", def, help)
+}
+
+// Surface returns the sorted names of every flag defined on fs. Flag-
+// surface regression tests compare it against a literal list: the list
+// in the test is the reviewed interface of the command.
+func Surface(fs *flag.FlagSet) []string {
+	var names []string
+	fs.VisitAll(func(f *flag.Flag) { names = append(names, f.Name) })
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,34 @@
+package cli
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+)
+
+// TestCanonicalNames pins the vocabulary itself: each constructor must
+// define exactly the flag name it is the canonical source of.
+func TestCanonicalNames(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	Workload(fs, "MP4")
+	Variant(fs, "Baseline")
+	Seed(fs, 0)
+	In(fs, "a", "input")
+	Out(fs, "b", "output")
+	want := []string{"in", "out", "seed", "variant", "workload"}
+	if got := Surface(fs); !reflect.DeepEqual(got, want) {
+		t.Errorf("vocabulary changed:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestDefaultsRespected(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	w := Workload(fs, "canneal")
+	s := Seed(fs, 7)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *w != "canneal" || *s != 7 {
+		t.Errorf("defaults not respected: workload=%q seed=%d", *w, *s)
+	}
+}

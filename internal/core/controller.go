@@ -14,8 +14,10 @@ import (
 	"pcmap/internal/dimm"
 	"pcmap/internal/ecc"
 	"pcmap/internal/mem"
+	"pcmap/internal/obs"
 	"pcmap/internal/pcm"
 	"pcmap/internal/sim"
+	"pcmap/internal/stats"
 	"pcmap/internal/wear"
 )
 
@@ -66,6 +68,16 @@ type Controller struct {
 	// ever disagrees with stored content absent injected faults;
 	// enabled by tests.
 	AssertContent bool
+
+	// Timeline instrumentation (nil when tracing is off): request
+	// service spans, queue-depth counter samples, and write-drain
+	// windows for this channel.
+	trace            *obs.Tracer
+	trkService       obs.TrackID
+	trkRdq, trkWrq   obs.TrackID
+	nmRead, nmWrite  obs.NameID
+	nmDepth, nmDrain obs.NameID
+	drainStart       sim.Time
 }
 
 // activeWrite tracks a write in service for scheduling decisions and
@@ -78,11 +90,11 @@ type activeWrite struct {
 	essCount int
 	end      sim.Time
 
-	coord    mem.Coord             // decoded target (post wear-level and remap)
-	intended *[ecc.LineBytes]byte  // content the write meant to store
-	mask     uint8                 // the write's word mask
-	attempts int                   // re-program attempts so far
-	progEnd  sim.Time              // when programming finished (verify overhead baseline)
+	coord    mem.Coord            // decoded target (post wear-level and remap)
+	intended *[ecc.LineBytes]byte // content the write meant to store
+	mask     uint8                // the write's word mask
+	attempts int                  // re-program attempts so far
+	progEnd  sim.Time             // when programming finished (verify overhead baseline)
 }
 
 // NewController builds a controller for one channel.
@@ -121,6 +133,33 @@ func NewController(eng *sim.Engine, cfgAll *config.Config, channel int, amap *me
 		c.sg = sg
 	}
 	return c
+}
+
+// Instrument wires the channel into the observability layer: the
+// metrics block's counters register into reg (pass the system
+// registry's "mem.chanN" view), and a non-nil tracer gets this
+// channel's request-service spans, queue-depth samples, drain windows,
+// bus transfers, and the rank's per-bank occupancy timelines. Call once
+// before the first request.
+func (c *Controller) Instrument(tr *obs.Tracer, reg *stats.Registry) {
+	if reg != nil {
+		c.Metrics.RegisterInto(reg)
+	}
+	if tr == nil {
+		return
+	}
+	c.trace = tr
+	process := fmt.Sprintf("mem chan%d", c.channel)
+	c.trkService = tr.Track(process, "service")
+	c.trkRdq = tr.Track(process, "rdq")
+	c.trkWrq = tr.Track(process, "wrq")
+	c.nmRead = tr.Name("read")
+	c.nmWrite = tr.Name("write")
+	c.nmDepth = tr.Name("depth")
+	c.nmDrain = tr.Name("drain")
+	c.dataBus.Instrument(tr, process, "databus")
+	c.cmdBus.Instrument(tr, process, "cmdbus")
+	c.rank.Instrument(tr, c.channel)
 }
 
 // decode resolves an address to (possibly wear-level-remapped)
@@ -212,6 +251,13 @@ func (c *Controller) Enqueue(r *mem.Request) bool {
 	}
 	if ok {
 		c.Metrics.NoteArrival(r.Arrive)
+		if c.trace != nil {
+			if r.Kind == mem.Read {
+				c.trace.Count(c.trkRdq, c.nmDepth, r.Arrive, int64(c.rdq.Len()))
+			} else {
+				c.trace.Count(c.trkWrq, c.nmDepth, r.Arrive, int64(c.wrq.Len()))
+			}
+		}
 		c.kick()
 	}
 	return ok
@@ -300,8 +346,10 @@ func (c *Controller) updateDrainMode() {
 	if !c.draining && occ >= c.cfg.DrainHighPct {
 		c.draining = true
 		c.Metrics.DrainEntries.Inc()
+		c.drainStart = c.eng.Now()
 	} else if c.draining && occ <= c.cfg.DrainLowPct {
 		c.draining = false
+		c.trace.Span(c.trkWrq, c.nmDrain, c.drainStart, c.eng.Now()-c.drainStart)
 	}
 }
 

@@ -255,6 +255,10 @@ func (c *Controller) completeRead(r *mem.Request, p readPlan, verifyAt sim.Time)
 	c.Metrics.Reads.Inc()
 	c.Metrics.ReadLatency.Add(r.Latency())
 	c.Metrics.NoteDone(r.Done)
+	if c.trace != nil {
+		c.trace.Span(c.trkService, c.nmRead, r.Arrive, r.Done-r.Arrive)
+		c.trace.Count(c.trkRdq, c.nmDepth, r.Done, int64(c.rdq.Len()))
+	}
 	if r.DelayedByWrite {
 		c.Metrics.ReadsDelayedByWrite.Inc()
 	}

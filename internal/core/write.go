@@ -349,6 +349,10 @@ func (c *Controller) completeWrite(r *mem.Request, aw *activeWrite) {
 	c.Metrics.Writes.Inc()
 	c.Metrics.WriteLatency.Add(r.Latency())
 	c.Metrics.NoteDone(r.Done)
+	if c.trace != nil {
+		c.trace.Span(c.trkService, c.nmWrite, r.Arrive, r.Done-r.Arrive)
+		c.trace.Count(c.trkWrq, c.nmDepth, r.Done, int64(c.wrq.Len()))
+	}
 	if r.OnDone != nil {
 		r.OnDone(r)
 	}

@@ -12,7 +12,9 @@ import (
 
 	"pcmap/internal/cache"
 	"pcmap/internal/config"
+	"pcmap/internal/obs"
 	"pcmap/internal/sim"
+	"pcmap/internal/stats"
 	"pcmap/internal/workloads"
 )
 
@@ -66,6 +68,21 @@ type Core struct {
 	// Counters.
 	Loads, Stores, Rollbacks, VerifiesSeen, FaultyVerifies uint64
 	StallFillTime                                          sim.Time
+
+	// Stall-cause accounting (observability layer): one episode per
+	// stall, bucketed by what blocked issue. The buckets register into
+	// the system stats registry under cpu.coreN.stall.* and, when a
+	// tracer is attached, each episode also emits an instant on the
+	// core's timeline track. Plain counter increments keep the
+	// no-tracer hot path allocation-free.
+	StallReadLatency  stats.Counter // window blocked on an unknown-latency PCM fill
+	StallMSHRFull     stats.Counter // all data MSHRs in flight
+	StallWriteQFull   stats.Counter // store rejected: write queue back-pressure
+	StallBankConflict stats.Counter // load rejected below the caches
+
+	trace                                            *obs.Tracer
+	track                                            obs.TrackID
+	nmReadLat, nmMSHRFull, nmWriteQFull, nmBankConfl obs.NameID
 }
 
 // NewCore builds a core running gen on hier.
@@ -83,6 +100,28 @@ func NewCore(eng *sim.Engine, cfg *config.Config, id int, hier *cache.Hierarchy,
 	c.stepTimer = eng.NewTimer(c.step)
 	hier.SetVerifyHandler(id, c.onVerify)
 	return c
+}
+
+// Instrument registers the core's stall-cause counters into reg (under
+// relative names stall.read_latency, stall.mshr_full,
+// stall.writeq_full, stall.bank_conflict) and, when tr is non-nil,
+// attaches a timeline track that receives one instant per stall
+// episode. Call once, before Start.
+func (c *Core) Instrument(tr *obs.Tracer, reg *stats.Registry) {
+	if reg != nil {
+		reg.Register("stall.read_latency", &c.StallReadLatency)
+		reg.Register("stall.mshr_full", &c.StallMSHRFull)
+		reg.Register("stall.writeq_full", &c.StallWriteQFull)
+		reg.Register("stall.bank_conflict", &c.StallBankConflict)
+	}
+	if tr != nil {
+		c.trace = tr
+		c.track = tr.Track("cpu", fmt.Sprintf("core%d", c.ID))
+		c.nmReadLat = tr.Name("stall.read_latency")
+		c.nmMSHRFull = tr.Name("stall.mshr_full")
+		c.nmWriteQFull = tr.Name("stall.writeq_full")
+		c.nmBankConfl = tr.Name("stall.bank_conflict")
+	}
 }
 
 // Start begins execution of up to budget instructions; onFinish runs
@@ -232,6 +271,8 @@ func (c *Core) advancePastWindow() bool {
 		if head.done == 0 {
 			// Unknown completion: a PCM fetch. Sleep.
 			c.waitingFill = true
+			c.StallReadLatency.Inc()
+			c.trace.Instant(c.track, c.nmReadLat, c.now)
 			return false
 		}
 		if head.done > c.now {
@@ -245,7 +286,15 @@ func (c *Core) advancePastWindow() bool {
 
 // advancePastMSHR enforces the outstanding-load limit.
 func (c *Core) advancePastMSHR() bool {
+	stalled := false
 	for c.outstanding() >= c.cfg.DataMSHRs {
+		if !stalled {
+			// Count one episode however many completions it takes to
+			// free an MSHR.
+			stalled = true
+			c.StallMSHRFull.Inc()
+			c.trace.Instant(c.track, c.nmMSHRFull, c.now)
+		}
 		// Wait for the earliest known completion; if none is known,
 		// sleep for a fill.
 		var earliest sim.Time
@@ -291,6 +340,8 @@ func (c *Core) doLoad(op *workloads.Op) bool {
 		c.pending = append(c.pending, load{seq: entrySeq, done: 0})
 		return true
 	case cache.Stalled:
+		c.StallBankConflict.Inc()
+		c.trace.Instant(c.track, c.nmBankConfl, c.now)
 		c.waitUnstall()
 		return false
 	default:
@@ -321,6 +372,8 @@ func (c *Core) markDone(seq uint64, t sim.Time) {
 func (c *Core) doStore(op *workloads.Op) bool {
 	res := c.hier.Store(c.ID, op.Addr, op.EssMask, op.NonTemporal)
 	if res == cache.Stalled {
+		c.StallWriteQFull.Inc()
+		c.trace.Instant(c.track, c.nmWriteQFull, c.now)
 		c.waitUnstall()
 		return false
 	}

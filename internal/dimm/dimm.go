@@ -7,6 +7,9 @@
 package dimm
 
 import (
+	"fmt"
+
+	"pcmap/internal/obs"
 	"pcmap/internal/pcm"
 	"pcmap/internal/sim"
 )
@@ -105,6 +108,18 @@ func NewRank(banks int, layout Layout) *Rank {
 
 // Banks returns the number of banks per chip.
 func (r *Rank) Banks() int { return r.banks }
+
+// Instrument attaches every chip-bank of the rank to timeline tracks
+// grouped under "pcm chan<channel>". A nil tracer is a no-op.
+func (r *Rank) Instrument(tr *obs.Tracer, channel int) {
+	if tr == nil {
+		return
+	}
+	process := fmt.Sprintf("pcm chan%d", channel)
+	for _, c := range r.Chips {
+		c.Instrument(tr, process)
+	}
+}
 
 // StatusFlags implements the DIMM register's per-bank status word: bit
 // i is set when chip i is busy in the given bank at time t. The memory

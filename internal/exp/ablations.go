@@ -31,7 +31,7 @@ func Ablations(ctx context.Context, r *Runner) (*FigureResult, error) {
 		}
 		cfg := config.Default().WithVariant(config.RWoWRDE)
 		mut(cfg)
-		s, err := system.Build(cfg, workload)
+		s, err := system.New(system.WithConfig(cfg), system.WithWorkload(workload))
 		if err != nil {
 			return err
 		}

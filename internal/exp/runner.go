@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pcmap/internal/config"
+	"pcmap/internal/obs"
 	"pcmap/internal/system"
 )
 
@@ -70,6 +71,11 @@ type Runner struct {
 	// partial results (everything already completed stays cached)
 	// instead of losing the whole run.
 	Retries int
+	// Tracer, when non-nil, is attached to every simulation this
+	// runner executes (system.WithTracer). The tracer is single-
+	// threaded, so set it only for single-run invocations (adhoc);
+	// a parallel sweep sharing one tracer would race.
+	Tracer *obs.Tracer
 
 	mu    sync.Mutex
 	memo  map[Spec]*system.Results
@@ -121,10 +127,19 @@ func (r *Runner) configFor(s Spec) *config.Config {
 	return cfg
 }
 
-// runSimulation is the default simulate implementation: build the
-// system and run the warmup/measure protocol.
+// runSimulation is the untraced default simulate implementation.
 func runSimulation(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
-	sys, err := system.Build(cfg, workload)
+	return (&Runner{}).defaultSimulate(cfg, workload, warmup, measure)
+}
+
+// defaultSimulate builds the system — attaching the runner's tracer
+// when one is set — and runs the warmup/measure protocol.
+func (r *Runner) defaultSimulate(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+	opts := []system.Option{system.WithConfig(cfg), system.WithWorkload(workload)}
+	if r.Tracer != nil {
+		opts = append(opts, system.WithTracer(r.Tracer))
+	}
+	sys, err := system.New(opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +225,7 @@ func (r *Runner) execute(ctx context.Context, s Spec) (*system.Results, error) {
 
 	sim := r.simulate
 	if sim == nil {
-		sim = runSimulation
+		sim = r.defaultSimulate
 	}
 	var (
 		res     *system.Results

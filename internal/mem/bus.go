@@ -1,6 +1,9 @@
 package mem
 
-import "pcmap/internal/sim"
+import (
+	"pcmap/internal/obs"
+	"pcmap/internal/sim"
+)
 
 // Bus models a shared, serialized channel resource (the 80-bit data bus
 // or the command/address bus). The data bus additionally charges a
@@ -14,6 +17,24 @@ type Bus struct {
 
 	// Busy accumulates total occupied time for utilization reporting.
 	Busy sim.Time
+
+	// Timeline instrumentation (nil when tracing is off): every Acquire
+	// becomes an occupancy span on the bus's track.
+	trace           *obs.Tracer
+	track           obs.TrackID
+	nmRead, nmWrite obs.NameID
+}
+
+// Instrument attaches the bus to a timeline track. A nil tracer leaves
+// the bus untraced; the hot path then costs a single nil check.
+func (b *Bus) Instrument(tr *obs.Tracer, process, name string) {
+	if tr == nil {
+		return
+	}
+	b.trace = tr
+	b.track = tr.Track(process, name)
+	b.nmRead = tr.Name("xfer.read")
+	b.nmWrite = tr.Name("xfer.write")
 }
 
 // Acquire books the bus for dur starting no earlier than earliest,
@@ -32,6 +53,13 @@ func (b *Bus) Acquire(earliest, dur sim.Time, write bool) (start, end sim.Time) 
 	b.lastWrite = write
 	b.any = true
 	b.Busy += dur
+	if b.trace != nil {
+		nm := b.nmRead
+		if write {
+			nm = b.nmWrite
+		}
+		b.trace.Span(b.track, nm, start, dur)
+	}
 	return start, end
 }
 

@@ -56,18 +56,89 @@ type Metrics struct {
 	// system.Results) serializes for the experiment runner's disk cache;
 	// treat it as read-only outside NoteArrival/Merge/Reset.
 	HaveArrival bool
+
+	// reg indexes every counter field above under its snake_case report
+	// name. It is built lazily (registry) so a Metrics decoded from the
+	// experiment runner's JSON cache — which round-trips only the
+	// exported fields — re-binds transparently on first use. Reset,
+	// Merge, and Counters all delegate to it, making the registry the
+	// single source of truth for the counter set; the struct fields
+	// remain as thin compatibility accessors for call sites
+	// (m.Reads.Inc() and friends keep working because the registry holds
+	// pointers to the fields, not copies).
+	reg *stats.Registry
 }
 
-// NewMetrics returns a zeroed metrics block.
+// NewMetrics returns a zeroed metrics block with its counter registry
+// bound.
 func NewMetrics() *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		ReadLatency:   stats.NewLatencyTracker(),
 		WriteLatency:  stats.NewLatencyTracker(),
 		VerifyLatency: stats.NewLatencyTracker(),
 		DirtyWords:    stats.NewHistogram(9),
 		IRLP:          stats.NewIRLP(),
 	}
+	m.reg = stats.NewRegistry()
+	m.bind(m.reg)
+	return m
 }
+
+// bind registers every counter field into r under its report name, in
+// the report's fixed order (registration order is iteration order, so
+// this list IS the Counters output order — append only at the end, as
+// report compatibility demands). The pcmaplint metricscomplete analyzer
+// checks that no counter field is missing here.
+func (m *Metrics) bind(r *stats.Registry) {
+	r.Register("reads", &m.Reads)
+	r.Register("writes", &m.Writes)
+	r.Register("silent_writes", &m.SilentWrites)
+	r.Register("reads_delayed_by_write", &m.ReadsDelayedByWrite)
+	r.Register("row_served", &m.RoWServed)
+	r.Register("row_verifies", &m.RoWVerifies)
+	r.Register("row_faulty", &m.RoWFaulty)
+	r.Register("wow_overlapped", &m.WoWOverlapped)
+	r.Register("overlap_reads", &m.OverlapReads)
+	r.Register("ecc_corrected", &m.ECCCorrected)
+	r.Register("secded_corrected", &m.SECDEDCorrected)
+	r.Register("secded_check_fixed", &m.SECDEDCheckFixed)
+	r.Register("pcc_recovered", &m.PCCRecovered)
+	r.Register("uncorrected_reads", &m.UncorrectedReads)
+	r.Register("write_verifies", &m.WriteVerifies)
+	r.Register("verify_reads", &m.VerifyReads)
+	r.Register("write_retries", &m.WriteRetries)
+	r.Register("write_remaps", &m.WriteRemaps)
+	r.Register("remap_failures", &m.RemapFailures)
+	r.Register("drain_entries", &m.DrainEntries)
+	r.Register("writeq_stalls", &m.WriteQStalls)
+	r.Register("readq_stalls", &m.ReadQStalls)
+	r.Register("status_polls", &m.StatusPolls)
+	r.Register("wear_moves", &m.WearMoves)
+	r.Register("write_pauses", &m.WritePauses)
+}
+
+// registry returns the metrics block's private counter index, building
+// it on first use. Laziness matters: a Metrics produced by the JSON
+// codecs arrives with reg == nil and must behave identically to a
+// freshly constructed one.
+func (m *Metrics) registry() *stats.Registry {
+	if m.reg == nil {
+		m.reg = stats.NewRegistry()
+		m.bind(m.reg)
+	}
+	return m.reg
+}
+
+// RegisterInto publishes the metrics counters into an external registry
+// view (e.g. the system root's "mem.chan0" subtree) by registering the
+// same field pointers under the same names. The block's own registry
+// and the external tree then observe identical live values.
+func (m *Metrics) RegisterInto(r *stats.Registry) { m.bind(r) }
+
+// Registry exposes the block's private counter index (binding it if
+// needed). Callers deserializing a Metrics use it to re-establish the
+// registry invariant; everyone else should prefer Counters.
+func (m *Metrics) Registry() *stats.Registry { return m.registry() }
 
 // NoteArrival records the first request arrival (throughput window).
 func (m *Metrics) NoteArrival(t sim.Time) {
@@ -95,35 +166,12 @@ func (m *Metrics) WriteThroughput() float64 {
 }
 
 // Reset returns the metrics block to its freshly-constructed state.
-// Used to discard warmup-phase measurements in place; every counter and
-// tracker field must be cleared here (the pcmaplint metricscomplete
-// analyzer enforces that no field is forgotten).
+// Used to discard warmup-phase measurements in place. Counters are
+// zeroed through the registry (so any external registry views stay
+// bound to the same, now-zero fields); trackers and the throughput
+// window are rebuilt by hand.
 func (m *Metrics) Reset() {
-	m.Reads = stats.Counter{}
-	m.Writes = stats.Counter{}
-	m.SilentWrites = stats.Counter{}
-	m.ReadsDelayedByWrite = stats.Counter{}
-	m.RoWServed = stats.Counter{}
-	m.RoWVerifies = stats.Counter{}
-	m.RoWFaulty = stats.Counter{}
-	m.WoWOverlapped = stats.Counter{}
-	m.OverlapReads = stats.Counter{}
-	m.ECCCorrected = stats.Counter{}
-	m.SECDEDCorrected = stats.Counter{}
-	m.SECDEDCheckFixed = stats.Counter{}
-	m.PCCRecovered = stats.Counter{}
-	m.UncorrectedReads = stats.Counter{}
-	m.WriteVerifies = stats.Counter{}
-	m.VerifyReads = stats.Counter{}
-	m.WriteRetries = stats.Counter{}
-	m.WriteRemaps = stats.Counter{}
-	m.RemapFailures = stats.Counter{}
-	m.DrainEntries = stats.Counter{}
-	m.WriteQStalls = stats.Counter{}
-	m.ReadQStalls = stats.Counter{}
-	m.StatusPolls = stats.Counter{}
-	m.WearMoves = stats.Counter{}
-	m.WritePauses = stats.Counter{}
+	m.registry().Reset()
 	m.ReadLatency = stats.NewLatencyTracker()
 	m.WriteLatency = stats.NewLatencyTracker()
 	m.VerifyLatency = stats.NewLatencyTracker()
@@ -134,73 +182,23 @@ func (m *Metrics) Reset() {
 	m.HaveArrival = false
 }
 
-// NamedCounter is one row of the Counters report.
-type NamedCounter struct {
-	Name  string
-	Value uint64
-}
+// NamedCounter is one row of the Counters report. It is the registry's
+// row type: the metrics report and any registry-wide enumeration are
+// the same shape.
+type NamedCounter = stats.NamedCounter
 
 // Counters lists every counter in a fixed, deterministic order, for
-// report output and the determinism regression test. Like Merge and
-// Reset, it must enumerate every stats.Counter field.
+// report output and the determinism regression test. The order is the
+// registry's registration order, i.e. the bind list.
 func (m *Metrics) Counters() []NamedCounter {
-	return []NamedCounter{
-		{"reads", m.Reads.Value()},
-		{"writes", m.Writes.Value()},
-		{"silent_writes", m.SilentWrites.Value()},
-		{"reads_delayed_by_write", m.ReadsDelayedByWrite.Value()},
-		{"row_served", m.RoWServed.Value()},
-		{"row_verifies", m.RoWVerifies.Value()},
-		{"row_faulty", m.RoWFaulty.Value()},
-		{"wow_overlapped", m.WoWOverlapped.Value()},
-		{"overlap_reads", m.OverlapReads.Value()},
-		{"ecc_corrected", m.ECCCorrected.Value()},
-		{"secded_corrected", m.SECDEDCorrected.Value()},
-		{"secded_check_fixed", m.SECDEDCheckFixed.Value()},
-		{"pcc_recovered", m.PCCRecovered.Value()},
-		{"uncorrected_reads", m.UncorrectedReads.Value()},
-		{"write_verifies", m.WriteVerifies.Value()},
-		{"verify_reads", m.VerifyReads.Value()},
-		{"write_retries", m.WriteRetries.Value()},
-		{"write_remaps", m.WriteRemaps.Value()},
-		{"remap_failures", m.RemapFailures.Value()},
-		{"drain_entries", m.DrainEntries.Value()},
-		{"writeq_stalls", m.WriteQStalls.Value()},
-		{"readq_stalls", m.ReadQStalls.Value()},
-		{"status_polls", m.StatusPolls.Value()},
-		{"wear_moves", m.WearMoves.Value()},
-		{"write_pauses", m.WritePauses.Value()},
-	}
+	return m.registry().Counters()
 }
 
-// Merge folds other into m (used to aggregate channels). Latency
-// trackers and histograms are merged bucket-wise.
+// Merge folds other into m (used to aggregate channels). Counters merge
+// through the registries by name; latency trackers and histograms are
+// merged bucket-wise.
 func (m *Metrics) Merge(other *Metrics) {
-	m.Reads.Add(other.Reads.Value())
-	m.Writes.Add(other.Writes.Value())
-	m.SilentWrites.Add(other.SilentWrites.Value())
-	m.ReadsDelayedByWrite.Add(other.ReadsDelayedByWrite.Value())
-	m.RoWServed.Add(other.RoWServed.Value())
-	m.RoWVerifies.Add(other.RoWVerifies.Value())
-	m.RoWFaulty.Add(other.RoWFaulty.Value())
-	m.WoWOverlapped.Add(other.WoWOverlapped.Value())
-	m.OverlapReads.Add(other.OverlapReads.Value())
-	m.ECCCorrected.Add(other.ECCCorrected.Value())
-	m.SECDEDCorrected.Add(other.SECDEDCorrected.Value())
-	m.SECDEDCheckFixed.Add(other.SECDEDCheckFixed.Value())
-	m.PCCRecovered.Add(other.PCCRecovered.Value())
-	m.UncorrectedReads.Add(other.UncorrectedReads.Value())
-	m.WriteVerifies.Add(other.WriteVerifies.Value())
-	m.VerifyReads.Add(other.VerifyReads.Value())
-	m.WriteRetries.Add(other.WriteRetries.Value())
-	m.WriteRemaps.Add(other.WriteRemaps.Value())
-	m.RemapFailures.Add(other.RemapFailures.Value())
-	m.DrainEntries.Add(other.DrainEntries.Value())
-	m.WriteQStalls.Add(other.WriteQStalls.Value())
-	m.ReadQStalls.Add(other.ReadQStalls.Value())
-	m.StatusPolls.Add(other.StatusPolls.Value())
-	m.WearMoves.Add(other.WearMoves.Value())
-	m.WritePauses.Add(other.WritePauses.Value())
+	m.registry().Merge(other.registry())
 	stats.MergeLatency(m.ReadLatency, other.ReadLatency)
 	stats.MergeLatency(m.WriteLatency, other.WriteLatency)
 	stats.MergeLatency(m.VerifyLatency, other.VerifyLatency)

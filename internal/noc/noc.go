@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"pcmap/internal/config"
+	"pcmap/internal/obs"
 	"pcmap/internal/sim"
 )
 
@@ -25,6 +26,12 @@ type Mesh struct {
 
 	Messages stats64
 	Hops     stats64
+
+	// Timeline instrumentation (nil when tracing is off): each message
+	// becomes one span from departure to arrival on the mesh track.
+	trace *obs.Tracer
+	track obs.TrackID
+	nmMsg obs.NameID
 }
 
 type stats64 struct{ n, sum uint64 }
@@ -54,6 +61,17 @@ func New(cfg config.NoC) *Mesh {
 		flitBytes: cfg.FlitBytes,
 		linkFree:  make([]sim.Time, cfg.Rows*cfg.Cols*numDirs),
 	}
+}
+
+// Instrument attaches the mesh to a timeline track. A nil tracer
+// leaves the mesh untraced.
+func (m *Mesh) Instrument(tr *obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	m.trace = tr
+	m.track = tr.Track("noc", "mesh")
+	m.nmMsg = tr.Name("message")
 }
 
 // Nodes returns the node count.
@@ -131,6 +149,7 @@ func (m *Mesh) Send(from, to int, bytes int, depart sim.Time) sim.Time {
 	t += serialization
 	m.Messages.add(1)
 	m.Hops.add(hops)
+	m.trace.Span(m.track, m.nmMsg, depart, t-depart)
 	return t
 }
 

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pcmap/internal/sim"
+)
+
+// Chrome trace_event serialization. One tick is 100 ps = 1e-4 µs
+// exactly, so timestamps are rendered with pure integer math as
+// "<ticks/10000>.<ticks%10000 zero-padded to 4>" — no floating point,
+// byte-stable across platforms, which the golden test relies on.
+
+func writeTS(w *bufio.Writer, t sim.Time) {
+	ticks := t.Ticks()
+	fmt.Fprintf(w, "%d.%04d", ticks/10000, ticks%10000)
+}
+
+// WriteJSON serializes the trace in Chrome trace_event "JSON object
+// format": process/thread metadata first (registration order), then the
+// live records oldest-first. The output is deterministic for a
+// deterministic run.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+	if t != nil {
+		for i, p := range t.procs {
+			sep()
+			fmt.Fprintf(bw, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%s}}", i+1, quote(p))
+		}
+		for _, ti := range t.tracks {
+			sep()
+			fmt.Fprintf(bw, "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}", ti.pid, ti.tid, quote(ti.name))
+		}
+		t.each(func(r record) {
+			ti := t.tracks[r.track]
+			name := quote(t.names[r.name])
+			sep()
+			switch r.kind {
+			case kindSpan:
+				fmt.Fprintf(bw, "{\"name\":%s,\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":", name, ti.pid, ti.tid)
+				writeTS(bw, r.start)
+				bw.WriteString(",\"dur\":")
+				writeTS(bw, r.dur)
+				bw.WriteString("}")
+			case kindInstant:
+				fmt.Fprintf(bw, "{\"name\":%s,\"ph\":\"I\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":", name, ti.pid, ti.tid)
+				writeTS(bw, r.start)
+				bw.WriteString("}")
+			case kindCount:
+				fmt.Fprintf(bw, "{\"name\":%s,\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"ts\":", name, ti.pid, ti.tid)
+				writeTS(bw, r.start)
+				fmt.Fprintf(bw, ",\"args\":{\"value\":%d}}", r.dur.Ticks())
+			}
+		})
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// quote JSON-encodes a metadata string. Metadata is cold path, so the
+// stdlib encoder is fine here.
+func quote(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// traceEvent mirrors the subset of the trace_event format the
+// validator checks.
+type traceEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	PID  *int64           `json:"pid"`
+	TID  *int64           `json:"tid"`
+	TS   *float64         `json:"ts"`
+	Dur  *float64         `json:"dur"`
+	S    string           `json:"s"`
+	Args *json.RawMessage `json:"args"`
+}
+
+// Validate checks that r holds structurally valid Chrome trace_event
+// JSON as this package emits it: an object with a traceEvents array
+// whose entries have the fields their phase requires. It is the backing
+// for `pcmaptrace validate` and the trace-smoke CI check.
+func Validate(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+	}
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	for i, ev := range f.TraceEvents {
+		if err := validateEvent(ev); err != nil {
+			return fmt.Errorf("trace: event %d (%q): %w", i, ev.Name, err)
+		}
+	}
+	return nil
+}
+
+func validateEvent(ev traceEvent) error {
+	if ev.Name == "" {
+		return fmt.Errorf("missing name")
+	}
+	if ev.PID == nil || ev.TID == nil {
+		return fmt.Errorf("missing pid/tid")
+	}
+	needTS := func() error {
+		if ev.TS == nil {
+			return fmt.Errorf("ph %q missing ts", ev.Ph)
+		}
+		if *ev.TS < 0 {
+			return fmt.Errorf("negative ts %v", *ev.TS)
+		}
+		return nil
+	}
+	switch ev.Ph {
+	case "M":
+		if ev.Args == nil {
+			return fmt.Errorf("metadata event missing args")
+		}
+	case "X":
+		if err := needTS(); err != nil {
+			return err
+		}
+		if ev.Dur == nil || *ev.Dur < 0 {
+			return fmt.Errorf("complete span needs non-negative dur")
+		}
+	case "I":
+		if err := needTS(); err != nil {
+			return err
+		}
+		switch ev.S {
+		case "", "g", "p", "t":
+		default:
+			return fmt.Errorf("bad instant scope %q", ev.S)
+		}
+	case "C":
+		if err := needTS(); err != nil {
+			return err
+		}
+		if ev.Args == nil {
+			return fmt.Errorf("counter event missing args")
+		}
+	case "":
+		return fmt.Errorf("missing ph")
+	default:
+		return fmt.Errorf("unsupported ph %q", ev.Ph)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pcmap/internal/sim"
+)
+
+// buildFixedTrace emits a small hand-authored timeline exercising every
+// record kind, both process groups, and the fractional-tick timestamp
+// path. The golden test freezes its exact serialization.
+func buildFixedTrace() *Tracer {
+	tr := New(64, 1)
+	bank := tr.Track("pcm chan0", "bank0")
+	core := tr.Track("cpu", "core0")
+	bank2 := tr.Track("pcm chan0", "bank1")
+	read := tr.Name("read")
+	stall := tr.Name("stall.mshr_full")
+	depth := tr.Name("rdq.depth")
+	tr.Span(bank, read, 0, sim.MemCycle.Times(2))
+	tr.Instant(core, stall, sim.CPUCycle.Times(3))
+	tr.Count(bank2, depth, sim.Time(12345), 7)
+	tr.Span(bank2, read, sim.Time(12345), sim.Time(1))
+	return tr
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixedTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "fixed.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (rerun with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace JSON drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	// The golden bytes must themselves be a valid trace.
+	if err := Validate(bytes.NewReader(want)); err != nil {
+		t.Fatalf("golden trace does not validate: %v", err)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	// Every method must be callable on nil without effect.
+	id := tr.Track("p", "t")
+	n := tr.Name("x")
+	tr.Span(id, n, 0, 5)
+	tr.Instant(id, n, 1)
+	tr.Count(id, n, 2, 3)
+	if tr.Enabled() || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must report disabled and empty")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("empty trace must validate: %v", err)
+	}
+}
+
+func TestRingOverwriteCountsDropped(t *testing.T) {
+	tr := New(4, 1)
+	tk := tr.Track("p", "t")
+	nm := tr.Name("e")
+	for i := 0; i < 10; i++ {
+		tr.Instant(tk, nm, sim.Time(i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want ring capacity 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	// Survivors must be the newest records, oldest-first.
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "\"ts\":0.0006") || strings.Contains(s, "\"ts\":0.0005") {
+		t.Fatalf("ring did not keep the tail: %s", s)
+	}
+}
+
+func TestCountSampling(t *testing.T) {
+	tr := New(64, 4)
+	tk := tr.Track("p", "t")
+	nm := tr.Name("depth")
+	for i := 0; i < 16; i++ {
+		tr.Count(tk, nm, sim.Time(i), int64(i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("1-in-4 sampling kept %d of 16 counter records", tr.Len())
+	}
+	// Spans bypass sampling.
+	tr.Span(tk, nm, 0, 1)
+	if tr.Len() != 5 {
+		t.Fatal("spans must not be sampled away")
+	}
+}
+
+func TestTrackGroupsByProcess(t *testing.T) {
+	tr := New(8, 1)
+	a := tr.Track("pcm chan0", "bank0")
+	b := tr.Track("cpu", "core0")
+	c := tr.Track("pcm chan0", "bank1")
+	if a != 0 || b != 1 || c != 2 {
+		t.Fatalf("track IDs not sequential: %d %d %d", a, b, c)
+	}
+	if tr.tracks[a].pid != tr.tracks[c].pid {
+		t.Fatal("same process string must share a pid")
+	}
+	if tr.tracks[a].pid == tr.tracks[b].pid {
+		t.Fatal("distinct processes must get distinct pids")
+	}
+	if tr.tracks[a].tid == tr.tracks[c].tid {
+		t.Fatal("tracks within a process must get distinct tids")
+	}
+}
+
+func TestNameInterning(t *testing.T) {
+	tr := New(8, 1)
+	a := tr.Name("read")
+	b := tr.Name("write")
+	if tr.Name("read") != a || tr.Name("write") != b || a == b {
+		t.Fatal("name interning broken")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"no traceEvents":  `{"displayTimeUnit":"ns"}`,
+		"missing name":    `{"traceEvents":[{"ph":"I","pid":1,"tid":1,"ts":0}]}`,
+		"missing ph":      `{"traceEvents":[{"name":"e","pid":1,"tid":1,"ts":0}]}`,
+		"bad ph":          `{"traceEvents":[{"name":"e","ph":"Z","pid":1,"tid":1,"ts":0}]}`,
+		"span without ts": `{"traceEvents":[{"name":"e","ph":"X","pid":1,"tid":1,"dur":1}]}`,
+		"negative dur":    `{"traceEvents":[{"name":"e","ph":"X","pid":1,"tid":1,"ts":0,"dur":-1}]}`,
+		"counter no args": `{"traceEvents":[{"name":"e","ph":"C","pid":1,"tid":1,"ts":0}]}`,
+		"missing pid":     `{"traceEvents":[{"name":"e","ph":"I","tid":1,"ts":0}]}`,
+		"bad scope":       `{"traceEvents":[{"name":"e","ph":"I","s":"q","pid":1,"tid":1,"ts":0}]}`,
+	}
+	for label, in := range cases {
+		if err := Validate(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Validate accepted malformed input", label)
+		}
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	tr := New(8, 1)
+	tk := tr.Track("p", "t")
+	nm := tr.Name("e")
+	tr.Span(tk, nm, 10, -5)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("clamped span must validate: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"pcmap/internal/sim"
+)
+
+// TestEngineHotLoopTracing drives the tracer from the engine's step
+// hook and from event callbacks — the exact shape of the production
+// instrumentation — under a deterministic million-event load. Run with
+// -race this doubles as the regression test that engine + tracer stay a
+// single-goroutine pairing; it also pins the zero-drop behaviour at
+// DefaultCapacity-scale rings.
+func TestEngineHotLoopTracing(t *testing.T) {
+	e := sim.NewEngine()
+	tr := New(1<<20, 1)
+	track := tr.Track("engine", "events")
+	tick := tr.Name("tick")
+	step := tr.Name("step")
+	e.SetStepHook(func(now sim.Time, pending int) {
+		tr.Count(track, step, now, int64(pending))
+	})
+	const events = 1 << 18
+	fired := 0
+	var fire func()
+	fire = func() {
+		tr.Instant(track, tick, e.Now())
+		fired++
+		if fired < events {
+			e.Schedule(sim.Time(fired%7+1), fire)
+		}
+	}
+	e.Schedule(1, fire)
+	e.Run()
+	if fired != events {
+		t.Fatalf("fired %d events, want %d", fired, events)
+	}
+	// Step hook fires once per event, Instant once per event.
+	if tr.Len() != 2*events {
+		t.Fatalf("recorded %d records, want %d", tr.Len(), 2*events)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped %d records with a large ring", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("hot-loop trace does not validate: %v", err)
+	}
+}

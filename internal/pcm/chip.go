@@ -1,6 +1,9 @@
 package pcm
 
 import (
+	"fmt"
+
+	"pcmap/internal/obs"
 	"pcmap/internal/sim"
 )
 
@@ -34,6 +37,15 @@ type Chip struct {
 	BitsSet    uint64 // cells programmed 0->1
 	BitsReset  uint64 // cells programmed 1->0
 	BusySum    sim.Time
+
+	// Timeline instrumentation (nil when tracing is off). Every
+	// reservation becomes one occupancy span on the chip-bank's track,
+	// which is exactly the per-bank busy timeline the paper's
+	// access-parallelism argument is about.
+	trace      *obs.Tracer
+	bankTracks []obs.TrackID
+	nmArray    obs.NameID // array read / non-programming occupancy
+	nmProgram  obs.NameID // programming operation (act + cell program)
 }
 
 // NewChip returns a chip with banks closed and idle.
@@ -43,6 +55,22 @@ func NewChip(id, banks int) *Chip {
 		c.Banks[i].OpenRow = NoRow
 	}
 	return c
+}
+
+// Instrument attaches the chip's banks to timeline tracks under the
+// given process group ("pcm chan0", ...). Call once at construction
+// time; a nil tracer leaves the chip untraced.
+func (c *Chip) Instrument(tr *obs.Tracer, process string) {
+	if tr == nil {
+		return
+	}
+	c.trace = tr
+	c.nmArray = tr.Name("array")
+	c.nmProgram = tr.Name("program")
+	c.bankTracks = c.bankTracks[:0]
+	for b := range c.Banks {
+		c.bankTracks = append(c.bankTracks, tr.Track(process, fmt.Sprintf("chip%d.bank%d", c.ID, b)))
+	}
 }
 
 // FreeAt reports whether the given bank of this chip is idle at time t.
@@ -63,7 +91,17 @@ func (c *Chip) Reserve(bank int, earliest sim.Time, dur sim.Time) (start, end si
 	end = start + dur
 	b.BusyUntil = end
 	c.BusySum += dur
+	c.trace.Span(c.trackFor(bank), c.nmArray, start, dur)
 	return start, end
+}
+
+// trackFor returns the bank's timeline track; only valid to emit with
+// when c.trace is non-nil (Instrument populated the tracks).
+func (c *Chip) trackFor(bank int) obs.TrackID {
+	if c.trace == nil {
+		return 0
+	}
+	return c.bankTracks[bank]
 }
 
 // ReserveProgram books a programming operation: the bank-level array
@@ -86,6 +124,7 @@ func (c *Chip) ReserveProgram(bank int, earliest, act, prog sim.Time) (start, en
 		c.ProgBusyUntil = end
 	}
 	c.BusySum += end - start
+	c.trace.Span(c.trackFor(bank), c.nmProgram, start, end-start)
 	return start, end
 }
 

@@ -71,6 +71,12 @@ type Engine struct {
 	seq    uint64
 	events []event // 4-ary min-heap ordered by (at, seq)
 	nsteps uint64
+
+	// stepHook, when non-nil, observes every executed event. It exists
+	// for the observability layer (internal/obs) and costs exactly one
+	// predictable branch per step when unset, keeping the hot path at
+	// zero allocations.
+	stepHook func(now Time, pending int)
 }
 
 // NewEngine returns an empty engine starting at time zero.
@@ -159,6 +165,13 @@ func (e *Engine) pop() event {
 	return root
 }
 
+// SetStepHook installs fn to be called once per executed event with the
+// event's timestamp and the number of events still pending after the
+// pop. The hook is observability-only: it must not schedule events or
+// otherwise influence the simulation, so that traced and untraced runs
+// stay bit-identical. Passing nil removes the hook.
+func (e *Engine) SetStepHook(fn func(now Time, pending int)) { e.stepHook = fn }
+
 // Step executes the next event. It reports false when no events remain.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
@@ -167,6 +180,9 @@ func (e *Engine) Step() bool {
 	ev := e.pop()
 	e.now = ev.at
 	e.nsteps++
+	if e.stepHook != nil {
+		e.stepHook(e.now, len(e.events))
+	}
 	ev.fn()
 	return true
 }

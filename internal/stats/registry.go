@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Registry is the hierarchical counter namespace shared by the metrics
+// blocks, the timeline tracer, and the report/codec layers: every
+// counter registers exactly once under a dotted name ("reads",
+// "cpu.core3.stall.read_latency", ...) and the registry is then the
+// single source of truth for enumeration (Counters), lifecycle
+// (Reset), and aggregation (Merge).
+//
+// Registration order is the iteration order. Construction of a
+// simulated system is deterministic code, so the order — and therefore
+// every report rendered from a registry — is deterministic too, which
+// the end-to-end determinism regression tests rely on.
+//
+// A Registry is not safe for concurrent use, matching the rest of the
+// simulator: one system, one goroutine.
+type Registry struct {
+	prefix string // "" at the root; "mem." for Sub("mem") views
+	shared *regState
+}
+
+// regState is the storage shared by a root registry and all its Sub
+// views.
+type regState struct {
+	order []string            // full dotted names, registration order
+	index map[string]*Counter // full dotted name -> counter
+	owned map[string]*Counter // counters allocated by the registry itself
+}
+
+// NewRegistry returns an empty root registry.
+func NewRegistry() *Registry {
+	return &Registry{shared: &regState{index: map[string]*Counter{}}}
+}
+
+// Sub returns a namespaced view: registrations and lookups through the
+// view prepend name plus a dot. Views share storage with the root, so
+// Counters on the root enumerates every subtree.
+func (r *Registry) Sub(name string) *Registry {
+	if name == "" {
+		panic("stats: Sub with empty name")
+	}
+	return &Registry{prefix: r.prefix + name + ".", shared: r.shared}
+}
+
+// Register adds c under name (relative to the registry's prefix). It
+// panics on a nil counter, an empty name, or a name collision — a
+// collision means two components believe they own the same statistic,
+// which would silently double-count.
+func (r *Registry) Register(name string, c *Counter) {
+	if c == nil {
+		panic(fmt.Sprintf("stats: Register(%q) with nil counter", name))
+	}
+	if name == "" {
+		panic("stats: Register with empty name")
+	}
+	full := r.prefix + name
+	s := r.shared
+	if _, dup := s.index[full]; dup {
+		panic(fmt.Sprintf("stats: duplicate counter registration %q", full))
+	}
+	s.index[full] = c
+	s.order = append(s.order, full)
+}
+
+// Counter returns the counter registered under name, allocating and
+// registering a registry-owned counter on first use. An existing
+// counter (owned or externally registered) is returned as-is, which is
+// what hierarchical aggregation call sites want.
+func (r *Registry) Counter(name string) *Counter {
+	full := r.prefix + name
+	s := r.shared
+	if c, ok := s.index[full]; ok {
+		return c
+	}
+	c := &Counter{}
+	s.index[full] = c
+	s.order = append(s.order, full)
+	if s.owned == nil {
+		s.owned = map[string]*Counter{}
+	}
+	s.owned[full] = c
+	return c
+}
+
+// Lookup returns the counter under name, or (nil, false).
+func (r *Registry) Lookup(name string) (*Counter, bool) {
+	c, ok := r.shared.index[r.prefix+name]
+	return c, ok
+}
+
+// Len returns the number of counters visible from this registry (the
+// whole tree for a root, the subtree for a Sub view).
+func (r *Registry) Len() int {
+	n := 0
+	for _, full := range r.shared.order {
+		if strings.HasPrefix(full, r.prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset zeroes every counter visible from this registry in place.
+// Counters registered from struct fields are zeroed through their
+// pointers, so the owning structs observe the reset.
+func (r *Registry) Reset() {
+	for _, full := range r.shared.order {
+		if strings.HasPrefix(full, r.prefix) {
+			*r.shared.index[full] = Counter{}
+		}
+	}
+}
+
+// Counters lists every visible counter in registration order, names
+// relative to the registry's prefix. The order is deterministic, which
+// report output and the determinism regression tests depend on.
+func (r *Registry) Counters() []NamedCounter {
+	out := make([]NamedCounter, 0, r.Len())
+	for _, full := range r.shared.order {
+		if strings.HasPrefix(full, r.prefix) {
+			out = append(out, NamedCounter{
+				Name:  full[len(r.prefix):],
+				Value: r.shared.index[full].Value(),
+			})
+		}
+	}
+	return out
+}
+
+// Merge folds other's visible counters into r by relative name. Names
+// present in both registries add; names missing from r are adopted as
+// registry-owned counters (appended in other's registration order), so
+// merging per-channel registries into a fresh aggregate just works.
+func (r *Registry) Merge(other *Registry) {
+	for _, nc := range other.Counters() {
+		r.Counter(nc.Name).Add(nc.Value)
+	}
+}
+
+// NamedCounter is one row of a Counters report.
+type NamedCounter struct {
+	Name  string
+	Value uint64
+}
+
+// SortedNames returns the visible counter names in sorted order, for
+// callers that want set semantics rather than registration order.
+func (r *Registry) SortedNames() []string {
+	names := make([]string, 0, r.Len())
+	for _, full := range r.shared.order {
+		if strings.HasPrefix(full, r.prefix) {
+			names = append(names, full[len(r.prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names
+}

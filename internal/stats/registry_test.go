@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegistryRegisterAndCounters(t *testing.T) {
+	r := NewRegistry()
+	var a, b Counter
+	r.Register("reads", &a)
+	r.Register("writes", &b)
+	a.Add(3)
+	b.Inc()
+	got := r.Counters()
+	want := []NamedCounter{{"reads", 3}, {"writes", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Counters() = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryDeterministicOrder(t *testing.T) {
+	// Registration order, not name order, is the contract.
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(n)
+	}
+	got := r.Counters()
+	if got[0].Name != "zeta" || got[1].Name != "alpha" || got[2].Name != "mid" {
+		t.Fatalf("registration order not preserved: %v", got)
+	}
+}
+
+func TestRegistryCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	var a, b Counter
+	r.Register("reads", &a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.Register("reads", &b)
+}
+
+func TestRegistryNilCounterPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil counter registration must panic")
+		}
+	}()
+	r.Register("reads", nil)
+}
+
+func TestRegistrySubNamespacing(t *testing.T) {
+	root := NewRegistry()
+	cpu := root.Sub("cpu").Sub("core0")
+	var stall Counter
+	cpu.Register("stall", &stall)
+	stall.Add(7)
+
+	if _, ok := root.Lookup("cpu.core0.stall"); !ok {
+		t.Fatal("root must see the full dotted name")
+	}
+	if c, ok := cpu.Lookup("stall"); !ok || c.Value() != 7 {
+		t.Fatal("sub view must resolve relative names")
+	}
+	got := root.Counters()
+	if len(got) != 1 || got[0].Name != "cpu.core0.stall" || got[0].Value != 7 {
+		t.Fatalf("root Counters() = %v", got)
+	}
+	sub := cpu.Counters()
+	if len(sub) != 1 || sub[0].Name != "stall" {
+		t.Fatalf("sub Counters() = %v", sub)
+	}
+}
+
+func TestRegistrySubIsolation(t *testing.T) {
+	root := NewRegistry()
+	a := root.Sub("a")
+	b := root.Sub("b")
+	a.Counter("x").Add(1)
+	b.Counter("x").Add(2)
+	if a.Counter("x").Value() != 1 || b.Counter("x").Value() != 2 {
+		t.Fatal("sibling subs must not share counters")
+	}
+	if got := a.Len(); got != 1 {
+		t.Fatalf("a.Len() = %d, want 1", got)
+	}
+	// Reset through one view touches only its subtree.
+	a.Reset()
+	if a.Counter("x").Value() != 0 || b.Counter("x").Value() != 2 {
+		t.Fatal("Reset on a sub view must be scoped to its prefix")
+	}
+}
+
+func TestRegistryResetZeroesInPlace(t *testing.T) {
+	r := NewRegistry()
+	var a Counter
+	r.Register("reads", &a)
+	a.Add(9)
+	r.Reset()
+	if a.Value() != 0 {
+		t.Fatal("Reset must zero externally registered counters through their pointers")
+	}
+	a.Inc()
+	if got := r.Counters()[0].Value; got != 1 {
+		t.Fatalf("counter detached after reset: %d", got)
+	}
+}
+
+func TestRegistryMergeAddsAndAdopts(t *testing.T) {
+	dst, src := NewRegistry(), NewRegistry()
+	dst.Counter("reads").Add(1)
+	src.Counter("reads").Add(2)
+	src.Counter("writes").Add(5)
+	dst.Merge(src)
+	got := dst.Counters()
+	want := []NamedCounter{{"reads", 3}, {"writes", 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after merge: %v, want %v", got, want)
+	}
+	// Merging again must keep adding, not re-adopt.
+	dst.Merge(src)
+	if v := dst.Counter("writes").Value(); v != 10 {
+		t.Fatalf("second merge: writes = %d, want 10", v)
+	}
+}
+
+// TestRegistryRoundTrip is the Reset/Merge/Counters round-trip
+// property: merging N copies of a registry into a fresh one multiplies
+// every value by N, and a Reset returns it to all zeros with the name
+// set intact.
+func TestRegistryRoundTrip(t *testing.T) {
+	src := NewRegistry()
+	names := []string{"a", "b.c", "b.d", "z"}
+	for i, n := range names {
+		src.Counter(n).Add(uint64(i + 1))
+	}
+	agg := NewRegistry()
+	const n = 3
+	for i := 0; i < n; i++ {
+		agg.Merge(src)
+	}
+	for i, nc := range agg.Counters() {
+		if nc.Name != names[i] {
+			t.Fatalf("order changed through merge: %v", agg.Counters())
+		}
+		if nc.Value != uint64(n*(i+1)) {
+			t.Fatalf("%s = %d, want %d", nc.Name, nc.Value, n*(i+1))
+		}
+	}
+	agg.Reset()
+	for _, nc := range agg.Counters() {
+		if nc.Value != 0 {
+			t.Fatalf("after reset %s = %d", nc.Name, nc.Value)
+		}
+	}
+	if got := agg.Len(); got != len(names) {
+		t.Fatalf("reset must keep the name set: len %d", got)
+	}
+}
+
+func TestRegistrySortedNames(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z", "a", "m"} {
+		r.Counter(n)
+	}
+	got := r.SortedNames()
+	if !reflect.DeepEqual(got, []string{"a", "m", "z"}) {
+		t.Fatalf("SortedNames() = %v", got)
+	}
+}
+
+func TestRegistrySubEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub(\"\") must panic")
+		}
+	}()
+	NewRegistry().Sub("")
+}

@@ -1,0 +1,133 @@
+package system
+
+import (
+	"errors"
+	"testing"
+
+	"pcmap/internal/config"
+	"pcmap/internal/obs"
+)
+
+func TestNewDefaults(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mix.Name != "MP4" {
+		t.Fatalf("default mix = %q, want MP4", s.Mix.Name)
+	}
+	if s.Stats == nil {
+		t.Fatal("New must populate the stats registry")
+	}
+	if s.Tracer != nil {
+		t.Fatal("tracing must default to off")
+	}
+	// Every core's stall buckets and every channel's metrics must be in
+	// the tree.
+	for _, name := range []string{"cpu.core0.stall.read_latency", "mem.chan0.reads", "mem.chan0.write_pauses"} {
+		if _, ok := s.Stats.Lookup(name); !ok {
+			t.Errorf("registry missing %s", name)
+		}
+	}
+}
+
+func TestNewTypedErrors(t *testing.T) {
+	cases := []struct {
+		label string
+		opts  []Option
+		opt   string
+	}{
+		{"nil config", []Option{WithConfig(nil)}, "WithConfig"},
+		{"empty workload", []Option{WithWorkload("")}, "WithWorkload"},
+		{"unknown workload", []Option{WithWorkload("no-such-mix")}, "WithWorkload"},
+		{"nil tracer", []Option{WithTracer(nil)}, "WithTracer"},
+		{"bad drift", []Option{WithFaultModel(0, 1.5)}, "WithFaultModel"},
+		{"negative drift", []Option{WithFaultModel(0, -0.1)}, "WithFaultModel"},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.opts...)
+		if err == nil {
+			t.Errorf("%s: New succeeded, want error", tc.label)
+			continue
+		}
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("%s: error %v is not an *OptionError", tc.label, err)
+			continue
+		}
+		if oe.Option != tc.opt {
+			t.Errorf("%s: blamed option %q, want %q", tc.label, oe.Option, tc.opt)
+		}
+	}
+}
+
+func TestNewDoesNotMutateCallerConfig(t *testing.T) {
+	cfg := config.Default()
+	seed0, end0 := cfg.Seed, cfg.Memory.EnduranceBudget
+	if _, err := New(WithConfig(cfg), WithSeed(99), WithFaultModel(1000, 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != seed0 || cfg.Memory.EnduranceBudget != end0 {
+		t.Fatal("New mutated the caller's Config")
+	}
+}
+
+func TestNewAppliesOverrides(t *testing.T) {
+	s, err := New(WithSeed(7), WithFaultModel(123, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cfg.Seed != 7 {
+		t.Fatalf("seed override lost: %d", s.Cfg.Seed)
+	}
+	if s.Cfg.Memory.EnduranceBudget != 123 || s.Cfg.Memory.DriftProb != 0.5 {
+		t.Fatal("fault model override lost")
+	}
+}
+
+func TestNewWithTracerAttachesEverywhere(t *testing.T) {
+	tr := obs.New(1<<16, 1)
+	s, err := New(WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracer != tr {
+		t.Fatal("tracer not retained")
+	}
+	if _, err := s.Run(500, 2_000); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("traced run recorded nothing")
+	}
+}
+
+// TestTracedRunResultsIdentical is the observer-effect guard at the
+// library level: a traced run must produce exactly the results of an
+// untraced one.
+func TestTracedRunResultsIdentical(t *testing.T) {
+	run := func(opts ...Option) *Results {
+		s, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(500, 2_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	plain := run()
+	traced := run(WithTracer(obs.New(1<<16, 1)))
+	a, err := EncodeResults(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeResults(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("tracing changed simulation results")
+	}
+}

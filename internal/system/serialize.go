@@ -28,5 +28,9 @@ func DecodeResults(data []byte) (*Results, error) {
 	if r.Mem == nil {
 		return nil, fmt.Errorf("system: decoded Results has no memory metrics")
 	}
+	// JSON carries only the exported fields; rebuild the counter
+	// registry so a decoded Metrics is indistinguishable from a live one
+	// (the round-trip test compares them with reflect.DeepEqual).
+	r.Mem.Registry()
 	return &r, nil
 }

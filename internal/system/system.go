@@ -12,7 +12,9 @@ import (
 	"pcmap/internal/cpu"
 	"pcmap/internal/energy"
 	"pcmap/internal/mem"
+	"pcmap/internal/obs"
 	"pcmap/internal/sim"
+	"pcmap/internal/stats"
 	"pcmap/internal/workloads"
 )
 
@@ -24,18 +26,24 @@ type System struct {
 	Hier  *cache.Hierarchy
 	Cores []*cpu.Core
 	Mix   workloads.Mix
+
+	// Stats is the system-wide counter registry: every component's
+	// counters live under a dotted subtree (mem.chan0.reads,
+	// cpu.core3.stall.mshr_full, ...). Populated by New.
+	Stats *stats.Registry
+	// Tracer is the attached timeline tracer, nil when tracing is off.
+	Tracer *obs.Tracer
 }
 
 // Build constructs a machine for cfg running the named workload mix.
+// It is the positional-argument compatibility wrapper over New.
 func Build(cfg *config.Config, mixName string) (*System, error) {
-	mix, ok := workloads.MixByName(mixName)
-	if !ok {
-		return nil, fmt.Errorf("system: unknown workload %q", mixName)
-	}
-	if len(mix.PerCore) != cfg.Cores {
-		return nil, fmt.Errorf("system: mix %s defines %d cores, config has %d",
-			mixName, len(mix.PerCore), cfg.Cores)
-	}
+	return New(WithConfig(cfg), WithWorkload(mixName))
+}
+
+// assemble builds the machine proper: engine, memory, hierarchy, cores,
+// generators, prewarm. Instrumentation is layered on afterwards by New.
+func assemble(cfg *config.Config, mix workloads.Mix) (*System, error) {
 	eng := sim.NewEngine()
 	memory, err := core.NewMemory(eng, cfg)
 	if err != nil {

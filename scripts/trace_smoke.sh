@@ -1,0 +1,39 @@
+#!/bin/sh
+# End-to-end smoke test of the observability layer, shared by
+# `make trace-smoke` and CI:
+#
+#   1. run one adhoc simulation with -trace and one without,
+#   2. require byte-identical stdout (tracing must not perturb results),
+#   3. validate the emitted Chrome trace_event JSON with
+#      `pcmaptrace validate`,
+#   4. require the trace to contain per-bank spans and core stall
+#      instants (the two instrumentation families the tracer exists for).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+ARGS="-exp adhoc -workload stream -warmup 2000 -measure 20000"
+
+echo ">> traced run"
+go run ./cmd/pcmapsim $ARGS -trace "$TMP/trace.json" >"$TMP/traced.txt"
+echo ">> untraced run"
+go run ./cmd/pcmapsim $ARGS >"$TMP/plain.txt"
+
+echo ">> diff stdout (traced vs untraced)"
+diff "$TMP/traced.txt" "$TMP/plain.txt"
+
+echo '>> pcmaptrace validate'
+go run ./cmd/pcmaptrace validate -in "$TMP/trace.json"
+
+echo ">> trace content checks"
+grep -q '"name":"chip0.bank0"' "$TMP/trace.json" ||
+	{ echo 'missing per-bank track metadata' >&2; exit 1; }
+grep -q '"name":"stall.' "$TMP/trace.json" ||
+	{ echo 'missing core stall-cause instants' >&2; exit 1; }
+grep -q '"ph":"X"' "$TMP/trace.json" ||
+	{ echo 'missing duration spans' >&2; exit 1; }
+
+echo 'trace smoke OK'
