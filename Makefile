@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint figures bench bench-check profile sweep-smoke trace-smoke
+.PHONY: build test race lint figures bench bench-check profile sweep-smoke trace-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,12 @@ sweep-smoke:
 # JSON with per-bank spans and stall instants. CI runs this.
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+# End-to-end service check: start `pcmapsim serve`, post jobs over real
+# sockets (repeat answers must be byte-identical), reject an invalid
+# job, scrape /metrics, and SIGTERM into a clean drain. CI runs this.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Capture CPU and heap profiles of a full figure regeneration; inspect
 # with `go tool pprof cpu.prof` (see DESIGN.md §8).

@@ -17,10 +17,24 @@ func TestFlagSurface(t *testing.T) {
 	want := []string{
 		"avgmt", "cache", "cpuprofile", "drift", "endurance", "exp",
 		"format", "json", "measure", "memprofile", "par", "pausing",
-		"ratio", "resume", "retries", "seed", "trace", "tracesample",
-		"v", "variant", "verify", "warmup", "workload",
+		"ratio", "resume", "retries", "seed", "timeout", "trace",
+		"tracesample", "v", "variant", "verify", "warmup", "workload",
 	}
 	if got := cli.Surface(fs); !reflect.DeepEqual(got, want) {
 		t.Errorf("flag surface changed:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestServeFlagSurface pins the serve subcommand's interface the same
+// way.
+func TestServeFlagSurface(t *testing.T) {
+	fs := flag.NewFlagSet("pcmapsim serve", flag.ContinueOnError)
+	defineServeFlags(fs)
+	want := []string{
+		"addr", "cache", "drain", "maxbudget", "maxtimeout", "measure",
+		"queue", "retries", "seed", "timeout", "v", "warmup", "workers",
+	}
+	if got := cli.Surface(fs); !reflect.DeepEqual(got, want) {
+		t.Errorf("serve flag surface changed:\n got %v\nwant %v", got, want)
 	}
 }

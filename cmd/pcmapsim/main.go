@@ -23,6 +23,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
 	"pcmap/internal/cli"
 	"pcmap/internal/config"
@@ -55,6 +56,7 @@ type simFlags struct {
 	cacheDir  *string
 	resume    *bool
 	retries   *int
+	timeout   *time.Duration
 	cpuProf   *string
 	memProf   *string
 }
@@ -82,12 +84,23 @@ func defineFlags(fs *flag.FlagSet) *simFlags {
 		cacheDir:  fs.String("cache", "", "persist completed runs to this result-cache directory"),
 		resume:    fs.Bool("resume", false, "load previously cached runs instead of re-simulating (requires -cache)"),
 		retries:   fs.Int("retries", 0, "re-attempt a failed simulation up to this many times"),
+		timeout:   cli.Timeout(fs, 0),
 		cpuProf:   fs.String("cpuprofile", "", "write a CPU profile to this file"),
 		memProf:   fs.String("memprofile", "", "write a heap profile to this file at exit"),
 	}
 }
 
 func main() {
+	// `pcmapsim serve` is a subcommand with its own flag surface (the
+	// long-running simulation service); everything else is the one-shot
+	// flag interface below.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := cmdServe(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	f := defineFlags(flag.CommandLine)
 	flag.Parse()
 	var (
@@ -112,6 +125,7 @@ func main() {
 		cacheDir  = f.cacheDir
 		resume    = f.resume
 		retries   = f.retries
+		timeout   = f.timeout
 		cpuProf   = f.cpuProf
 		memProf   = f.memProf
 	)
@@ -162,6 +176,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// -timeout is the same cooperative cancellation as a signal: the
+	// deadline stops dispatch, in-flight simulations halt between engine
+	// events, and cached runs stay resumable.
+	if *timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
+		defer cancelTimeout()
+	}
+
 	r := exp.NewRunner()
 	r.Warmup, r.Measure, r.Parallelism = *warmup, *measure, *par
 	r.Resume, r.Retries = *resume, *retries
@@ -185,6 +208,9 @@ func main() {
 			endurance: *endurance, drift: *drift, verify: *verify, seed: *seed,
 			tracePath: *tracePath, traceSample: *traceSmpl,
 		}); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				timedOut(r, *timeout, *cacheDir)
+			}
 			fatal(err)
 		}
 		return
@@ -232,6 +258,9 @@ func main() {
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				interrupted(r, *cacheDir)
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				timedOut(r, *timeout, *cacheDir)
 			}
 			fatal(err)
 		}
@@ -375,6 +404,19 @@ func printAggregate(r *exp.Runner) {
 	}
 	fmt.Fprintf(os.Stderr, "pcmapsim: %d sims, %d events, %.1fM events/sec per sim thread\n",
 		sims, events, rate/1e6)
+}
+
+// timedOut reports a sweep stopped by -timeout and exits 1. Like a
+// signal, the deadline leaves completed runs in the cache, so -resume
+// picks up where the clock ran out.
+func timedOut(r *exp.Runner, d time.Duration, cacheDir string) {
+	sims, _, _ := r.Totals()
+	msg := fmt.Sprintf("pcmapsim: -timeout %s elapsed after %d completed sims", d, sims)
+	if cacheDir != "" {
+		msg += fmt.Sprintf("; re-run with -cache %s -resume to continue", cacheDir)
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(1)
 }
 
 // interrupted reports a signal-cancelled sweep and exits 130 (the

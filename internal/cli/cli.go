@@ -12,6 +12,7 @@ package cli
 import (
 	"flag"
 	"sort"
+	"time"
 )
 
 // Workload defines the canonical -workload flag selecting the workload
@@ -31,6 +32,14 @@ func Variant(fs *flag.FlagSet, def string) *string {
 // say so in their own documentation.
 func Seed(fs *flag.FlagSet, def uint64) *uint64 {
 	return fs.Uint64("seed", def, "simulation seed (0 = config default)")
+}
+
+// Timeout defines the canonical -timeout flag bounding how long a
+// command may run. The value is plumbed as a context deadline: work
+// stops cooperatively (simulations halt between engine events) and the
+// command reports a timeout error. 0 means no deadline.
+func Timeout(fs *flag.FlagSet, def time.Duration) *time.Duration {
+	return fs.Duration("timeout", def, "abort after this long, e.g. 30s or 5m (0 = no deadline)")
 }
 
 // In defines the canonical -in flag naming a tool's input file. The

@@ -16,7 +16,10 @@ import (
 // the serialized Results format or the simulation's meaning changes in
 // a way that should invalidate old entries; stale files are then simply
 // never addressed again (no migration logic needed).
-const cacheFormatVersion = 1
+//
+// Version history: 1 = bare Results JSON; 2 = checksummed envelope
+// (cacheEntry).
+const cacheFormatVersion = 2
 
 // CacheKey derives the content address of one run: a SHA-256 over the
 // cache format version, the Spec, the fully resolved configuration, and
@@ -63,25 +66,67 @@ func (c *DiskCache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-// Load returns the cached Results for key, or ok=false on a miss. A
-// corrupted or unreadable entry counts as a miss: the run simply
-// re-executes and overwrites it (the key addresses a deterministic
-// computation, so overwriting is always safe).
+// cacheEntry is the on-disk envelope of one cached run: the encoded
+// Results plus a SHA-256 over those exact bytes. The checksum detects
+// bit rot and partial writes that still parse as JSON — without it a
+// silently corrupted float would flow straight into resumed reports.
+type cacheEntry struct {
+	Sum     string          `json:"sha256"`
+	Results json.RawMessage `json:"results"`
+}
+
+// QuarantineSuffix is appended to a corrupt cache entry's filename when
+// Load moves it aside. Quarantined files keep the evidence for
+// diagnosis while freeing the key: the run re-executes and overwrites
+// the entry, so a sweep survives cache corruption instead of failing
+// on it.
+const QuarantineSuffix = ".corrupt"
+
+// Load returns the cached Results for key, or ok=false on a miss. An
+// unreadable, checksum-mismatched, or undecodable entry counts as a
+// miss, and the corrupt file is renamed aside (key.json.corrupt) so
+// the re-executed run can rewrite the entry while the bad bytes stay
+// available for inspection.
 func (c *DiskCache) Load(key string) (res *system.Results, ok bool) {
-	data, err := os.ReadFile(c.path(key))
+	p := c.path(key)
+	data, err := os.ReadFile(p)
 	if err != nil {
 		return nil, false
 	}
-	r, err := system.DecodeResults(data)
+	var ent cacheEntry
+	if err := json.Unmarshal(data, &ent); err != nil {
+		c.quarantine(p)
+		return nil, false
+	}
+	sum := sha256.Sum256(ent.Results)
+	if ent.Sum != hex.EncodeToString(sum[:]) {
+		c.quarantine(p)
+		return nil, false
+	}
+	r, err := system.DecodeResults(ent.Results)
 	if err != nil {
+		c.quarantine(p)
 		return nil, false
 	}
 	return r, true
 }
 
-// Store persists res under key atomically (temp file + rename).
+// quarantine moves a corrupt entry aside. Rename is as atomic as the
+// store path's, and a failure (e.g. the file vanished) is ignored: the
+// caller already treats the entry as a miss either way.
+func (c *DiskCache) quarantine(path string) {
+	_ = os.Rename(path, path+QuarantineSuffix)
+}
+
+// Store persists res under key atomically (temp file + rename), inside
+// a checksummed envelope Load verifies.
 func (c *DiskCache) Store(key string, res *system.Results) error {
-	data, err := system.EncodeResults(res)
+	payload, err := system.EncodeResults(res)
+	if err != nil {
+		return fmt.Errorf("cache store: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(cacheEntry{Sum: hex.EncodeToString(sum[:]), Results: payload})
 	if err != nil {
 		return fmt.Errorf("cache store: %w", err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"bytes"
 	"context"
 	"os"
 	"path/filepath"
@@ -138,9 +139,9 @@ func TestResumeByteIdentical(t *testing.T) {
 	}
 	resumed.Resume = true
 	var executed int32
-	resumed.simulate = func(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+	resumed.simulate = func(ctx context.Context, cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
 		atomic.AddInt32(&executed, 1)
-		return runSimulation(cfg, workload, warmup, measure)
+		return runSimulation(ctx, cfg, workload, warmup, measure)
 	}
 	got := runReliabilityMarkdown(t, resumed)
 
@@ -156,5 +157,143 @@ func TestResumeByteIdentical(t *testing.T) {
 	// The resumed sweep back-fills the cache: all 5 points present.
 	if n, err := resumed.Cache.Len(); err != nil || n != 5 {
 		t.Errorf("cache has %d entries after resume, %v; want 5", n, err)
+	}
+}
+
+// TestCacheCorruptionQuarantine is the corruption-injection test: a
+// cache entry damaged on disk — bit rot inside the payload, or bytes
+// that no longer parse at all — must read as a miss, move aside as
+// key.json.corrupt, and leave the key free for the re-executed run to
+// rewrite. A corrupt entry must never fail the sweep or, worse, feed
+// corrupted Results into a resumed report.
+func TestCacheCorruptionQuarantine(t *testing.T) {
+	corruptions := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"payload bit flip", func(b []byte) []byte {
+			// Flip one digit inside the results payload without breaking
+			// JSON syntax: the checksum, not the parser, must catch it.
+			i := bytes.Index(b, []byte(`"IPCSum":`))
+			if i < 0 {
+				t.Fatal("encoded entry has no IPCSum field")
+			}
+			c := append([]byte(nil), b...)
+			c[i+len(`"IPCSum":`)] ^= 0x01 // '1' <-> '0'
+			return c
+		}},
+		{"truncation", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"garbage", func(b []byte) []byte { return []byte("not json at all") }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cache, err := NewDiskCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := Spec{Workload: "MP4", Variant: config.Baseline}
+			cfg := config.Default()
+			key := CacheKey(spec, cfg, 100, 1000)
+			res := fakeResults(spec)
+			res.IPCSum = 1.5
+			if err := cache.Store(key, res); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := cache.Load(key); !ok {
+				t.Fatal("pristine entry must load")
+			}
+
+			path := filepath.Join(dir, key+".json")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			if _, ok := cache.Load(key); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			if _, err := os.Stat(path + QuarantineSuffix); err != nil {
+				t.Errorf("corrupt entry not quarantined: %v", err)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt entry still addressable at %s (err %v)", path, err)
+			}
+			if n, err := cache.Len(); err != nil || n != 0 {
+				t.Errorf("Len = %d, %v; quarantined files must not count", n, err)
+			}
+
+			// The key is free again: re-store and reload round-trips.
+			if err := cache.Store(key, res); err != nil {
+				t.Fatalf("re-store after quarantine: %v", err)
+			}
+			got, ok := cache.Load(key)
+			if !ok {
+				t.Fatal("rewritten entry must load")
+			}
+			//pcmaplint:ignore floatcmp round-trip of a stored value, no arithmetic in between
+			if got.IPCSum != res.IPCSum {
+				t.Errorf("rewritten entry IPCSum = %v, want %v", got.IPCSum, res.IPCSum)
+			}
+		})
+	}
+}
+
+// TestResumeSurvivesCorruptEntry runs the quarantine path through the
+// Runner: a resumed sweep that finds its cached entry corrupted
+// re-simulates that point instead of failing or serving bad data.
+func TestResumeSurvivesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	r := testRunner()
+	var err error
+	if r.Cache, err = NewDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Workload: "MP4", Variant: config.Baseline}
+	r.simulate = func(_ context.Context, cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+		return fakeResults(spec), nil
+	}
+	if _, err := r.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the single entry on disk.
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("cache files = %v, %v; want exactly one", matches, err)
+	}
+	if err := os.WriteFile(matches[0], []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh runner (fresh process): resume must re-execute, not fail.
+	r2 := testRunner()
+	if r2.Cache, err = NewDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	r2.Resume = true
+	var executed int32
+	r2.simulate = func(_ context.Context, cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+		atomic.AddInt32(&executed, 1)
+		return fakeResults(spec), nil
+	}
+	if _, err := r2.Run(spec); err != nil {
+		t.Fatalf("resume over a corrupt entry failed: %v", err)
+	}
+	if n := atomic.LoadInt32(&executed); n != 1 {
+		t.Errorf("%d executions, want 1 (corrupt entry re-simulates)", n)
+	}
+	if hits := r2.CacheHits(); hits != 0 {
+		t.Errorf("%d cache hits, want 0", hits)
+	}
+	// The re-executed run rewrote a healthy entry.
+	if _, err := r2.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r2.Cache.Len(); err != nil || n != 1 {
+		t.Errorf("cache has %d entries, %v; want 1 healthy entry", n, err)
 	}
 }

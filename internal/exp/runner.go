@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -82,8 +83,9 @@ type Runner struct {
 	calls map[Spec]*inflight
 
 	// simulate executes one run; tests substitute it to count or fail
-	// executions without building real systems.
-	simulate func(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error)
+	// executions without building real systems. ctx carries the caller's
+	// deadline into the simulation (see system.RunCtx).
+	simulate func(ctx context.Context, cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error)
 
 	// Sweep throughput accounting: executed (non-memoized) sims, the
 	// engine events they stepped, and their summed per-sim wall time.
@@ -128,13 +130,14 @@ func (r *Runner) configFor(s Spec) *config.Config {
 }
 
 // runSimulation is the untraced default simulate implementation.
-func runSimulation(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
-	return (&Runner{}).defaultSimulate(cfg, workload, warmup, measure)
+func runSimulation(ctx context.Context, cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+	return (&Runner{}).defaultSimulate(ctx, cfg, workload, warmup, measure)
 }
 
 // defaultSimulate builds the system — attaching the runner's tracer
-// when one is set — and runs the warmup/measure protocol.
-func (r *Runner) defaultSimulate(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+// when one is set — and runs the warmup/measure protocol under ctx's
+// deadline.
+func (r *Runner) defaultSimulate(ctx context.Context, cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
 	opts := []system.Option{system.WithConfig(cfg), system.WithWorkload(workload)}
 	if r.Tracer != nil {
 		opts = append(opts, system.WithTracer(r.Tracer))
@@ -143,7 +146,27 @@ func (r *Runner) defaultSimulate(cfg *config.Config, workload string, warmup, me
 	if err != nil {
 		return nil, err
 	}
-	return sys.Run(warmup, measure)
+	return sys.RunCtx(ctx, warmup, measure)
+}
+
+// callSimulate runs one simulation attempt with panic isolation: a
+// panicking simulation (or simulate hook) is recovered into a typed
+// *JobPanicError instead of unwinding the worker goroutine and killing
+// the whole process. The stack is captured here, inside the recovering
+// frame, so it points at the panic site.
+func (r *Runner) callSimulate(ctx context.Context, s Spec, cfg *config.Config) (res *system.Results, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = nil
+			err = &JobPanicError{Workload: s.Workload, Variant: s.Variant,
+				Value: v, Stack: debug.Stack()}
+		}
+	}()
+	sim := r.simulate
+	if sim == nil {
+		sim = r.defaultSimulate
+	}
+	return sim(ctx, cfg, s.Workload, r.Warmup, r.Measure)
 }
 
 // Run executes (or returns the memoized result of) one spec. It is
@@ -223,10 +246,6 @@ func (r *Runner) execute(ctx context.Context, s Spec) (*system.Results, error) {
 		}
 	}
 
-	sim := r.simulate
-	if sim == nil {
-		sim = r.defaultSimulate
-	}
 	var (
 		res     *system.Results
 		err     error
@@ -235,13 +254,15 @@ func (r *Runner) execute(ctx context.Context, s Spec) (*system.Results, error) {
 	for attempt := 0; ; attempt++ {
 		//pcmaplint:ignore nodeterminism wall-clock feeds only stderr throughput reporting, never simulation results
 		start := time.Now()
-		res, err = sim(cfg, s.Workload, r.Warmup, r.Measure)
+		res, err = r.callSimulate(ctx, s, cfg)
 		//pcmaplint:ignore nodeterminism wall-clock feeds only stderr throughput reporting, never simulation results
 		elapsed = time.Since(start)
 		if err == nil {
 			break
 		}
-		if attempt >= r.Retries || ctx.Err() != nil {
+		// Permanent failures (panics, cancellation, invalid specs) are
+		// reported immediately; burning retry budget on them cannot help.
+		if attempt >= r.Retries || ctx.Err() != nil || !IsRetryable(err) {
 			return nil, fmt.Errorf("exp: %s/%s (attempt %d/%d): %w",
 				s.Workload, s.Variant, attempt+1, r.Retries+1, err)
 		}
@@ -293,6 +314,27 @@ func (r *Runner) CacheHits() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.hits
+}
+
+// SetSimulate substitutes the simulation implementation — a test seam
+// so orchestration layers (retry, panic isolation, deadlines, the
+// serve worker pool) can be exercised without building real systems.
+// Passing nil restores the default. Call before the runner serves
+// traffic; the hook is read without synchronization on the execute
+// path.
+func (r *Runner) SetSimulate(fn func(ctx context.Context, cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error)) {
+	r.simulate = fn
+}
+
+// MemoLen reports how many completed specs the in-memory memo holds.
+// Long-running callers (the serve layer) use it to bound memory: when
+// the memo grows past their budget they retire the runner and start a
+// fresh one, falling back to the disk cache for previously computed
+// results.
+func (r *Runner) MemoLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.memo)
 }
 
 // RunAll executes specs concurrently. Dispatch genuinely stops at the

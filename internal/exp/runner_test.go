@@ -28,7 +28,7 @@ func fakeResults(s Spec) *system.Results {
 func TestSingleFlight(t *testing.T) {
 	r := testRunner()
 	var executions int32
-	r.simulate = func(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+	r.simulate = func(_ context.Context, cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
 		atomic.AddInt32(&executions, 1)
 		// Widen the window in which the old code let a second worker
 		// slip past the memo check while the first was simulating.
@@ -69,7 +69,7 @@ func TestRunAllHaltsOnFirstError(t *testing.T) {
 	r := testRunner()
 	r.Parallelism = 1
 	var executions int32
-	r.simulate = func(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+	r.simulate = func(_ context.Context, cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
 		n := atomic.AddInt32(&executions, 1)
 		if n == 3 {
 			return nil, errors.New("boom")
@@ -99,7 +99,7 @@ func TestRunAllJoinsWorkerErrors(t *testing.T) {
 	r.Parallelism = 2
 	var barrier sync.WaitGroup
 	barrier.Add(2)
-	r.simulate = func(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+	r.simulate = func(_ context.Context, cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
 		// Both workers must be mid-execution before either fails, so
 		// neither failure can halt the other's dispatch.
 		barrier.Done()
@@ -126,7 +126,7 @@ func TestRunAllCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var executions int32
-	r.simulate = func(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+	r.simulate = func(_ context.Context, cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
 		atomic.AddInt32(&executions, 1)
 		cancel() // the user hits ^C while the first sim runs
 		return fakeResults(Spec{Workload: workload}), nil
@@ -172,7 +172,7 @@ func TestRunRetries(t *testing.T) {
 			r := testRunner()
 			r.Retries = tc.retries
 			var attempts int32
-			r.simulate = func(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+			r.simulate = func(_ context.Context, cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
 				n := atomic.AddInt32(&attempts, 1)
 				if n <= tc.failFirst {
 					return nil, errors.New("transient")
@@ -199,7 +199,7 @@ func TestRunAllRetryDegradesToPartialSuccess(t *testing.T) {
 	r.Retries = 1
 	var attempts int32
 	var failedOnce atomic.Bool
-	r.simulate = func(cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
+	r.simulate = func(_ context.Context, cfg *config.Config, workload string, warmup, measure uint64) (*system.Results, error) {
 		atomic.AddInt32(&attempts, 1)
 		if workload == "w3" && failedOnce.CompareAndSwap(false, true) {
 			return nil, errors.New("transient blip")

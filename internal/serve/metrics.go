@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"pcmap/internal/stats"
+)
+
+// svcCounters are the service-level counters, separate from the
+// simulation's stats.Registry because HTTP handlers and workers touch
+// them concurrently (stats counters are single-goroutine by design).
+type svcCounters struct {
+	accepted         atomic.Uint64
+	rejectedQueue    atomic.Uint64
+	rejectedDraining atomic.Uint64
+	rejectedInvalid  atomic.Uint64
+	completed        atomic.Uint64
+	failed           atomic.Uint64
+	panicked         atomic.Uint64
+	timedOut         atomic.Uint64
+	retried          atomic.Uint64
+	busy             atomic.Int64
+}
+
+// handleMetrics is GET /metrics: a flat text exposition (Prometheus
+// style, name value per line) of the service counters followed by the
+// simulation counters aggregated over every completed job.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Snapshot the registry and runner totals under mu; render after.
+	s.mu.Lock()
+	sims, hits := s.retiredSims, s.retiredHits
+	for _, r := range s.runners {
+		n, _, _ := r.Totals()
+		sims += n
+		hits += r.CacheHits()
+	}
+	agg := s.agg.Counters()
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	rows := []struct {
+		name  string
+		value int64
+	}{
+		{"serve_jobs_accepted", int64(s.met.accepted.Load())},
+		{"serve_jobs_rejected_queue_full", int64(s.met.rejectedQueue.Load())},
+		{"serve_jobs_rejected_draining", int64(s.met.rejectedDraining.Load())},
+		{"serve_jobs_rejected_invalid", int64(s.met.rejectedInvalid.Load())},
+		{"serve_jobs_completed", int64(s.met.completed.Load())},
+		{"serve_jobs_failed", int64(s.met.failed.Load())},
+		{"serve_jobs_panicked", int64(s.met.panicked.Load())},
+		{"serve_jobs_timed_out", int64(s.met.timedOut.Load())},
+		{"serve_jobs_retried", int64(s.met.retried.Load())},
+		{"serve_queue_depth", int64(len(s.queue))},
+		{"serve_queue_capacity", int64(cap(s.queue))},
+		{"serve_workers", int64(s.cfg.Workers)},
+		{"serve_workers_busy", s.met.busy.Load()},
+		{"serve_sims_executed", int64(sims)},
+		{"serve_cache_hits", int64(hits)},
+		{"serve_draining", boolMetric(s.draining.Load())},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s %d\n", row.name, row.value)
+	}
+	writeRegistry(w, agg)
+}
+
+// writeRegistry renders aggregated simulation counters as
+// sim_<name> rows. The slice is in registration order (deterministic),
+// never map order.
+func writeRegistry(w http.ResponseWriter, rows []stats.NamedCounter) {
+	for _, nc := range rows {
+		fmt.Fprintf(w, "sim_%s %d\n", metricName(nc.Name), nc.Value)
+	}
+}
+
+// metricName flattens a dotted registry name into the conventional
+// [a-zA-Z0-9_] metric charset.
+func metricName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+func boolMetric(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -4,6 +4,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"pcmap/internal/cache"
@@ -127,8 +128,25 @@ type Results struct {
 // runs measure instructions per core and collects results. It returns
 // an error if the simulation wedges (requests or cores stuck).
 func (s *System) Run(warmup, measure uint64) (*Results, error) {
+	return s.RunCtx(context.Background(), warmup, measure)
+}
+
+// cancelCheckInterval is how many engine events execute between
+// context-cancellation checks in RunCtx. Checking is off the hot path
+// (one ctx.Err() per interval), and an interval this small still bounds
+// the latency of honoring a deadline to well under a millisecond of
+// wall time at the engine's measured event rates.
+const cancelCheckInterval = 8192
+
+// RunCtx is Run with cooperative cancellation: when ctx carries a
+// deadline or is cancelled, the simulation stops between events (every
+// cancelCheckInterval steps) and returns ctx's error. A background
+// context takes the exact same single-call engine path as Run, so
+// uncancelled runs stay bit-identical. A cancelled run returns no
+// Results — partial simulation state is not a meaningful measurement.
+func (s *System) RunCtx(ctx context.Context, warmup, measure uint64) (*Results, error) {
 	steps0 := s.Eng.Steps()
-	if err := s.runPhase(warmup); err != nil {
+	if err := s.runPhase(ctx, warmup); err != nil {
 		return nil, fmt.Errorf("system: warmup: %w", err)
 	}
 	s.Mem.ResetMetrics()
@@ -138,7 +156,7 @@ func (s *System) Run(warmup, measure uint64) (*Results, error) {
 		instr0 += c.Instructions()
 	}
 	roll0, ver0 := s.rollbackCounts()
-	if err := s.continuePhase(measure); err != nil {
+	if err := s.continuePhase(ctx, measure); err != nil {
 		return nil, fmt.Errorf("system: measure: %w", err)
 	}
 
@@ -180,26 +198,51 @@ func (s *System) rollbackCounts() (rollbacks, verifies uint64) {
 	return
 }
 
-func (s *System) runPhase(budget uint64) error {
+func (s *System) runPhase(ctx context.Context, budget uint64) error {
 	remaining := len(s.Cores)
 	for _, c := range s.Cores {
 		c.Start(budget, func() { remaining-- })
 	}
-	s.Eng.Run()
+	if err := s.runEngine(ctx); err != nil {
+		return err
+	}
 	if remaining != 0 {
 		return fmt.Errorf("%d cores wedged (deadlock?)", remaining)
 	}
 	return nil
 }
 
-func (s *System) continuePhase(extra uint64) error {
+func (s *System) continuePhase(ctx context.Context, extra uint64) error {
 	remaining := len(s.Cores)
 	for _, c := range s.Cores {
 		c.Continue(extra, func() { remaining-- })
 	}
-	s.Eng.Run()
+	if err := s.runEngine(ctx); err != nil {
+		return err
+	}
 	if remaining != 0 {
 		return fmt.Errorf("%d cores wedged (deadlock?)", remaining)
 	}
 	return nil
+}
+
+// runEngine drives the engine until no events remain, honoring ctx. A
+// context that can never be cancelled (Done() == nil, e.g.
+// context.Background) takes the plain Run path so the uncancellable
+// case pays nothing and behaves exactly as before.
+func (s *System) runEngine(ctx context.Context) error {
+	if ctx == nil || ctx.Done() == nil {
+		s.Eng.Run()
+		return nil
+	}
+	for {
+		for i := 0; i < cancelCheckInterval; i++ {
+			if !s.Eng.Step() {
+				return nil
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 }

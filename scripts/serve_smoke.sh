@@ -1,0 +1,105 @@
+#!/bin/sh
+# Serve smoke test: start `pcmapsim serve` on an ephemeral port, post
+# the same job twice (the second answer must be byte-identical — the
+# single-flight/cache path), reject an invalid job with a structured
+# 400, scrape the service counters, then SIGTERM the server and require
+# a clean drain (exit 0). Exercises the service end to end through the
+# real binary, real sockets, and a real signal.
+set -eu
+
+GO=${GO:-go}
+CURL=${CURL:-curl}
+tmp=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+bin="$tmp/pcmapsim"
+$GO build -o "$bin" ./cmd/pcmapsim
+
+# Ephemeral port, small default budgets, a disk cache, verbose logging.
+"$bin" serve -addr 127.0.0.1:0 -workers 2 -warmup 500 -measure 4000 \
+    -cache "$tmp/cache" -drain 30s -v 2> "$tmp/serve.log" &
+pid=$!
+
+# The bound address is announced on stderr: "serving on 127.0.0.1:PORT".
+addr=""
+i=0
+while [ "$i" -lt 200 ]; do
+    addr=$(sed -n 's/.*serving on \([0-9.:]*\)$/\1/p' "$tmp/serve.log" | head -n 1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: server died at startup" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+    sleep 0.05
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: never saw the serving address in the log" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+base="http://$addr"
+
+# Liveness and readiness answer before any job has run.
+for ep in healthz readyz; do
+    code=$($CURL -s -o /dev/null -w '%{http_code}' --max-time 10 "$base/$ep")
+    if [ "$code" != "200" ]; then
+        echo "serve-smoke: /$ep answered $code, want 200" >&2
+        exit 1
+    fi
+done
+
+# The same job twice: both 200, byte-identical Results JSON (the second
+# is served from the memo/disk cache, never re-simulated differently).
+job='{"workload":"MP4","variant":"RWoW-RDE","seed":7}'
+for n in 1 2; do
+    code=$($CURL -s -o "$tmp/res$n.json" -w '%{http_code}' --max-time 120 \
+        -X POST -H 'Content-Type: application/json' -d "$job" "$base/v1/jobs")
+    if [ "$code" != "200" ]; then
+        echo "serve-smoke: job $n answered $code, want 200" >&2
+        cat "$tmp/res$n.json" >&2
+        exit 1
+    fi
+done
+if ! cmp -s "$tmp/res1.json" "$tmp/res2.json"; then
+    echo "serve-smoke: repeated job answers differ (cache/coalesce broken)" >&2
+    exit 1
+fi
+grep -q '"IPCSum"' "$tmp/res1.json" || {
+    echo "serve-smoke: response is not Results JSON" >&2
+    cat "$tmp/res1.json" >&2
+    exit 1
+}
+
+# An invalid job is a structured 400, not a crash.
+code=$($CURL -s -o "$tmp/bad.json" -w '%{http_code}' --max-time 10 \
+    -X POST -H 'Content-Type: application/json' \
+    -d '{"workload":"no-such-mix","variant":"Baseline"}' "$base/v1/jobs")
+if [ "$code" != "400" ]; then
+    echo "serve-smoke: invalid job answered $code, want 400" >&2
+    cat "$tmp/bad.json" >&2
+    exit 1
+fi
+grep -q '"kind":"invalid"' "$tmp/bad.json" || {
+    echo "serve-smoke: invalid job lacks the typed error body" >&2
+    cat "$tmp/bad.json" >&2
+    exit 1
+}
+
+# The counters account for what just happened.
+$CURL -s --max-time 10 "$base/metrics" > "$tmp/metrics.txt"
+for want in 'serve_jobs_accepted 2' 'serve_jobs_completed 2' 'serve_jobs_rejected_invalid 1'; do
+    grep -q "^$want\$" "$tmp/metrics.txt" || {
+        echo "serve-smoke: /metrics missing \"$want\"" >&2
+        cat "$tmp/metrics.txt" >&2
+        exit 1
+    }
+done
+
+# SIGTERM drains and exits 0.
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+if [ "$status" != "0" ]; then
+    echo "serve-smoke: server exited $status after SIGTERM, want 0" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+echo "serve-smoke: OK (repeat answers byte-identical, invalid job 400, clean drain)"
