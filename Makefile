@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint figures bench bench-check profile sweep-smoke trace-smoke serve-smoke
+.PHONY: build test race lint lint-fix figures bench bench-check profile sweep-smoke trace-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ race:
 # govulncheck when installed. See scripts/lint.sh.
 lint:
 	sh scripts/lint.sh
+
+# Apply pcmaplint's suggested fixes in place (currently the typederr
+# ==/!= -> errors.Is rewrites); run gofmt afterwards if imports moved.
+lint-fix:
+	$(GO) run ./cmd/pcmaplint -vet=false -fix ./...
 
 # Regenerate the paper's headline figures (small budgets; see README
 # for full-scale runs).

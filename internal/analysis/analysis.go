@@ -46,11 +46,38 @@ type Pass struct {
 	diags *[]Diagnostic
 }
 
-// Diagnostic is one finding at one position.
+// Diagnostic is one finding at one position. Fixes, when present,
+// carry mechanical rewrites that resolve the finding; pcmaplint -fix
+// applies them (see ApplyFixes).
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []SuggestedFix
+}
+
+// SuggestedFix is one mechanical rewrite resolving a diagnostic. Every
+// edit is expressed as a resolved byte range so the driver can apply it
+// without re-loading the package.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []FileEdit `json:"edits"`
+}
+
+// FileEdit replaces the byte range [Offset, End) of Filename with
+// NewText. Offset == End is an insertion.
+type FileEdit struct {
+	Filename string `json:"file"`
+	Offset   int    `json:"offset"`
+	End      int    `json:"end"`
+	NewText  string `json:"newText"`
+}
+
+// TextEdit is the token.Pos form analyzers report fixes in; ReportFix
+// resolves it to a FileEdit. Pos == End inserts NewText at Pos.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
 }
 
 // String formats the diagnostic like a compiler error.
@@ -64,6 +91,30 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFix records a finding at pos carrying one suggested fix. Edits
+// are resolved against the pass's FileSet at report time; a suppressed
+// diagnostic takes its fix with it, so -fix never edits an ignored
+// site.
+func (p *Pass) ReportFix(pos token.Pos, fixMessage string, edits []TextEdit, format string, args ...any) {
+	fix := SuggestedFix{Message: fixMessage}
+	for _, e := range edits {
+		start := p.Fset.Position(e.Pos)
+		end := p.Fset.Position(e.End)
+		fix.Edits = append(fix.Edits, FileEdit{
+			Filename: start.Filename,
+			Offset:   start.Offset,
+			End:      end.Offset,
+			NewText:  e.NewText,
+		})
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
 	})
 }
 

@@ -12,11 +12,15 @@ import (
 
 // All lists every analyzer in the suite, in reporting order.
 var All = []*analysis.Analyzer{
+	ChanEndpoint,
 	FloatCmp,
+	GoroutineLife,
+	GuardedBy,
 	MetricsComplete,
 	NoDeterminism,
 	TypedErr,
 	UnitSafe,
+	WallTime,
 }
 
 // pkgLast returns the final element of an import path ("pcmap/internal/sim"

@@ -32,6 +32,14 @@ import (
 // Legacy style (no bind method): each stats.Counter field must be
 // referenced in the Merge, Reset, and Counters methods directly, and
 // tracker fields in Reset, as above.
+//
+// Atomic counter blocks (the serve layer's service counters): a struct
+// with two or more atomic.Uint64/Int64/Uint32/Int32 fields is a
+// counters block maintained outside the registry because concurrent
+// HTTP handlers touch it. The same forgotten-field bug applies with
+// different spelling: every field must have a write site (Add, Store,
+// Swap, CompareAndSwap) and a read site (Load) somewhere in the
+// package, or it is either never incremented or never exposed.
 var MetricsComplete = &analysis.Analyzer{
 	Name: "metricscomplete",
 	Doc:  "reports Metrics counter fields missing from registry binding or the Merge/Reset/Counters lifecycle",
@@ -39,6 +47,94 @@ var MetricsComplete = &analysis.Analyzer{
 }
 
 func runMetricsComplete(pass *analysis.Pass) error {
+	checkAtomicCounterBlocks(pass)
+	return checkMetricsLifecycle(pass)
+}
+
+// atomicCounterTypes are the sync/atomic numeric counters.
+var atomicCounterTypes = map[string]bool{
+	"Uint64": true, "Int64": true, "Uint32": true, "Int32": true,
+}
+
+// checkAtomicCounterBlocks finds structs made of atomic counters and
+// requires every field to be both written and read in the package.
+func checkAtomicCounterBlocks(pass *analysis.Pass) {
+	var blocks [][]*types.Var
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var counters []*types.Var
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			t := f.Type()
+			if n, isNamed := t.(*types.Named); isNamed {
+				obj := n.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicCounterTypes[obj.Name()] {
+					counters = append(counters, f)
+				}
+			}
+		}
+		if len(counters) >= 2 {
+			blocks = append(blocks, counters)
+		}
+	}
+	if len(blocks) == 0 {
+		return
+	}
+
+	written := map[*types.Var]bool{}
+	read := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fieldSel, ok := sel.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fs := pass.TypesInfo.Selections[fieldSel]
+			if fs == nil || fs.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := fs.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Add", "Store", "Swap", "CompareAndSwap":
+				written[v] = true
+			case "Load":
+				read[v] = true
+			}
+			return true
+		})
+	}
+	for _, counters := range blocks {
+		for _, f := range counters {
+			if !written[f] {
+				pass.Reportf(f.Pos(), "atomic counter field %s is never written (no Add/Store call in the package)", f.Name())
+			}
+			if !read[f] {
+				pass.Reportf(f.Pos(), "atomic counter field %s is never exposed (no Load call in the package)", f.Name())
+			}
+		}
+	}
+}
+
+func checkMetricsLifecycle(pass *analysis.Pass) error {
 	obj := pass.Pkg.Scope().Lookup("Metrics")
 	tn, ok := obj.(*types.TypeName)
 	if !ok {

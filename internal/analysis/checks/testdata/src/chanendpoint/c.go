@@ -1,0 +1,51 @@
+// Package chanendpoint exercises the channel-ownership analyzer: every
+// send needs a close site in the package or a chanowner annotation on
+// the channel's declaration.
+package chanendpoint
+
+type pool struct {
+	//pcmaplint:chanowner never closed; workers exit via stop, GC reaps the queue
+	queue chan int
+	other chan int
+	stop  chan struct{}
+}
+
+func (p *pool) enqueue(v int) {
+	p.queue <- v // clean: the field is annotated
+}
+
+func (p *pool) enqueueOther(v int) {
+	p.other <- v // want `send on other, which this package never closes`
+}
+
+func (p *pool) shutdown() {
+	close(p.stop)
+}
+
+func (p *pool) signalStop() {
+	p.stop <- struct{}{} // clean: shutdown closes it
+}
+
+func producerClean() int {
+	ch := make(chan int, 1)
+	ch <- 1 // clean: closed below
+	close(ch)
+	return <-ch
+}
+
+func producerLeak() {
+	ch := make(chan int, 1)
+	ch <- 1 // want `send on ch, which this package never closes`
+}
+
+func producerAnnotated() {
+	//pcmaplint:chanowner single-shot buffered result; nothing blocks on it after return
+	ch := make(chan int, 1)
+	ch <- 1
+}
+
+func suppressed() {
+	ch := make(chan int, 1)
+	//pcmaplint:ignore chanendpoint fixture demonstrating suppression on a send site
+	ch <- 1
+}

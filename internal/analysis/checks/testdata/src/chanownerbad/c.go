@@ -1,0 +1,10 @@
+// Package chanownerbad holds a reasonless chanowner directive; the
+// driver test (not analysistest, whose want comments would become the
+// directive's reason) asserts both the directive diagnostic and the
+// unowned send it fails to excuse.
+package chanownerbad
+
+//pcmaplint:chanowner
+var ch = make(chan int, 1)
+
+func send() { ch <- 1 }

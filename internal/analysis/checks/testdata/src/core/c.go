@@ -1,0 +1,28 @@
+// Package core is a stand-in for a deterministic sim-core package:
+// wall-clock reads, host pacing, and global rand are all banned.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	time.Sleep(time.Millisecond) // want `time.Sleep ties simulated behavior to the host clock`
+	return time.Now()            // want `time.Now ties simulated behavior to the host clock`
+}
+
+func jitter() int {
+	return rand.Intn(10) // want `global rand.Intn is unseeded; draw from the forkable sim.RNG`
+}
+
+func suppressed() time.Time {
+	//pcmaplint:ignore walltime fixture-only exception with a recorded reason
+	return time.Now()
+}
+
+// Durations are values, not clock reads: manipulating them is fine.
+func double(d time.Duration) time.Duration { return 2 * d }
+
+// Seeded sources are fine too; only the package-level global is banned.
+func seeded(r *rand.Rand) int { return r.Intn(10) }

@@ -1,0 +1,66 @@
+// Package goroutinelife exercises the goroutine-lifecycle analyzer:
+// every go statement must be tied to a visible completion or
+// cancellation mechanism.
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func leak() {
+	go func() { work() }() // want `goroutine has no completion or cancellation mechanism`
+}
+
+func namedLeak() {
+	go work() // want `goroutine has no completion or cancellation mechanism`
+}
+
+func suppressed() {
+	//pcmaplint:ignore goroutinelife sanctioned fire-and-forget, process exit reaps it
+	go work()
+}
+
+func joinedBySend(res chan int) {
+	go func() { res <- 1 }()
+}
+
+func joinedByClose() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+func joinedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go work()
+	wg.Wait()
+}
+
+func joinedByDone(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+func namedWithContext(ctx context.Context) {
+	go watch(ctx)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func namedWithChannel(ch chan int) {
+	go drain(ch)
+}

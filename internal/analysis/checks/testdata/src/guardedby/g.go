@@ -1,0 +1,123 @@
+// Package guardedby exercises the lock-discipline analyzer: annotated
+// fields must only be touched while the named mutex is held.
+package guardedby
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	//pcmaplint:guardedby mu
+	n int
+	//pcmaplint:guardedby single-goroutine
+	solo int
+	free int // unannotated: never checked
+}
+
+// Malformed annotations are themselves diagnostics.
+type broken struct {
+	mu sync.Mutex
+	//pcmaplint:guardedby
+	noarg int // want `needs a mutex field name`
+	//pcmaplint:guardedby lock
+	nosuch int // want `not a field of this struct`
+	//pcmaplint:guardedby noarg
+	notmu int // want `not a sync.Mutex`
+}
+
+func (b *box) good() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.free++
+}
+
+func (b *box) goodDefer() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b *box) goodEarlyReturn() int {
+	b.mu.Lock()
+	if b.n > 0 {
+		v := b.n
+		b.mu.Unlock()
+		return v
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func (b *box) goodLoop(vals []int) {
+	b.mu.Lock()
+	for _, v := range vals {
+		b.n += v
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) bad() {
+	b.n++ // want `field n is guarded by mu, which is not held here`
+}
+
+func (b *box) badAfterUnlock() {
+	b.mu.Lock()
+	b.n = 1
+	b.mu.Unlock()
+	b.n = 2 // want `field n is guarded by mu, which is not held here`
+}
+
+func (b *box) badConditionalLock(cond bool) {
+	if cond {
+		b.mu.Lock()
+	}
+	b.n++ // want `field n is guarded by mu, which is not held here`
+	if cond {
+		b.mu.Unlock()
+	}
+}
+
+// A closure does not inherit the enclosing function's lock state: by
+// the time it runs, the deferred unlock may long have fired.
+func (b *box) badClosure() func() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return func() int {
+		return b.n // want `field n is guarded by mu, which is not held here`
+	}
+}
+
+// The guard is per-instance: holding a's mutex says nothing about c.
+func transfer(a, c *box) {
+	a.mu.Lock()
+	c.n = a.n // want `field n is guarded by mu, which is not held here`
+	a.mu.Unlock()
+}
+
+func (b *box) goodGoroutineLocks(done chan struct{}) {
+	go func() {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+		close(done)
+	}()
+}
+
+// single-goroutine fields may be used freely on the owning goroutine...
+func (b *box) goodSolo() int {
+	b.solo++
+	return b.solo
+}
+
+// ...but not from a spawned one.
+func (b *box) badSoloGoroutine(done chan struct{}) {
+	go func() {
+		b.solo++ // want `field solo is declared single-goroutine but is accessed inside a goroutine`
+		close(done)
+	}()
+}
+
+func (b *box) suppressed() int {
+	//pcmaplint:ignore guardedby racy read is fine for a log line, torn values acceptable
+	return b.n
+}

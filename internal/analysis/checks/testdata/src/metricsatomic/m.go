@@ -1,0 +1,43 @@
+// Package metricsatomic exercises the atomic-counter-block rule: in a
+// struct of two or more sync/atomic counters, every field needs a write
+// site and a Load site in the package.
+package metricsatomic
+
+import "sync/atomic"
+
+type svcCounters struct {
+	accepted atomic.Uint64
+	ghost    atomic.Uint64 // want `atomic counter field ghost is never written`
+	hidden   atomic.Int64  // want `atomic counter field hidden is never exposed`
+}
+
+func touch(c *svcCounters) {
+	c.accepted.Add(1)
+	c.hidden.Add(1)
+}
+
+func render(c *svcCounters) uint64 {
+	return c.accepted.Load() + c.ghost.Load()
+}
+
+// A lone atomic next to non-counter fields is not a counters block.
+type gate struct {
+	draining atomic.Uint64
+	name     string
+}
+
+func arm(g *gate) { g.draining.Store(1) }
+
+// Suppression rides on the field line or the line above, as usual.
+type debugCounters struct {
+	hits atomic.Int64
+	//pcmaplint:ignore metricscomplete scratch counter for ad-hoc debugging, intentionally unexposed
+	scratch atomic.Int64
+}
+
+func bump(d *debugCounters) {
+	d.hits.Add(1)
+	d.scratch.Add(1)
+}
+
+func readHits(d *debugCounters) int64 { return d.hits.Load() }

@@ -1,0 +1,15 @@
+package typederrfix
+
+import "fmt"
+
+type PathError struct{ Path string }
+
+func (e *PathError) Error() string { return fmt.Sprintf("path %s", e.Path) }
+
+func same(a, b *PathError) bool {
+	return a == b
+}
+
+func differ(err error, target *PathError) bool {
+	return err != target
+}

@@ -1,0 +1,19 @@
+package typederrfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+type CodeError struct{ Code int }
+
+func (e *CodeError) Error() string { return fmt.Sprintf("code %d", e.Code) }
+
+func check(err error, t *CodeError) error {
+	if err != t {
+		return errSentinel
+	}
+	return nil
+}

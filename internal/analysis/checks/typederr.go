@@ -1,7 +1,10 @@
 package checks
 
 import (
+	"bytes"
+	"fmt"
 	"go/ast"
+	"go/printer"
 	"go/token"
 	"go/types"
 	"strings"
@@ -15,6 +18,12 @@ import (
 // direct type assertion from an error interface both break silently
 // the moment an error is wrapped with fmt.Errorf("...: %w", err) —
 // which the reliability path does — so both are reported.
+//
+// The ==/!= form is mechanical to repair, so those findings carry a
+// suggested fix (x == y -> errors.Is(x, y), x != y -> !errors.Is(x, y),
+// importing "errors" when the file lacks it) that pcmaplint -fix
+// applies. Assertions and type switches need errors.As target
+// variables, which is a judgment call left to the author.
 var TypedErr = &analysis.Analyzer{
 	Name: "typederr",
 	Doc:  "reports ==/!=/type-assertions on typed errors; use errors.Is and errors.As",
@@ -52,9 +61,64 @@ func checkErrCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
 		if name == "" || side.other.IsNil() {
 			continue
 		}
-		pass.Reportf(be.OpPos, "comparing *%s with %s breaks on wrapped errors; use errors.Is", name, be.Op)
+		repl := fmt.Sprintf("errors.Is(%s, %s)", exprText(pass, be.X), exprText(pass, be.Y))
+		if be.Op == token.NEQ {
+			repl = "!" + repl
+		}
+		edits := []analysis.TextEdit{{Pos: be.Pos(), End: be.End(), NewText: repl}}
+		if imp := importErrorsEdit(pass, be.Pos()); imp != nil {
+			edits = append(edits, *imp)
+		}
+		pass.ReportFix(be.OpPos, fmt.Sprintf("replace with %s", repl), edits,
+			"comparing *%s with %s breaks on wrapped errors; use errors.Is", name, be.Op)
 		return
 	}
+}
+
+// exprText renders an expression back to source for a suggested fix.
+func exprText(pass *analysis.Pass, e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, pass.Fset, e); err != nil {
+		return "/* unprintable */"
+	}
+	return b.String()
+}
+
+// importErrorsEdit returns the edit adding `import "errors"` to the
+// file containing pos, or nil when the file already imports it.
+func importErrorsEdit(pass *analysis.Pass, pos token.Pos) *analysis.TextEdit {
+	var file *ast.File
+	for _, f := range pass.Files {
+		if pass.Fset.File(f.Pos()) == pass.Fset.File(pos) {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return nil
+	}
+	for _, imp := range file.Imports {
+		if imp.Path.Value == `"errors"` {
+			return nil
+		}
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			// import ( ... ): insert as the first spec; gofmt will
+			// re-sort, and "errors" sorts early anyway.
+			at := gd.Lparen + 1
+			return &analysis.TextEdit{Pos: at, End: at, NewText: "\n\t\"errors\""}
+		}
+		// A single-line import: add a sibling import statement before it.
+		return &analysis.TextEdit{Pos: gd.Pos(), End: gd.Pos(), NewText: "import \"errors\"\n\n"}
+	}
+	// No imports at all: add a block after the package clause.
+	at := file.Name.End()
+	return &analysis.TextEdit{Pos: at, End: at, NewText: "\n\nimport \"errors\""}
 }
 
 // checkErrAssert reports err.(*SomeError) when err is an error

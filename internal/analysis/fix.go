@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix carried by diags to the files
+// on disk and returns the filenames that changed (sorted) plus the
+// number of edits skipped because they overlapped an earlier edit.
+// Identical edits (same range, same replacement) from different
+// diagnostics are coalesced; genuinely conflicting overlaps keep the
+// first edit in position order and skip the rest, so one -fix run is
+// always safe and a second run picks up whatever remains.
+func ApplyFixes(diags []Diagnostic) (changed []string, skipped int, err error) {
+	byFile := map[string][]FileEdit{}
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				if e.Filename == "" || e.Offset < 0 || e.End < e.Offset {
+					return nil, 0, fmt.Errorf("analysis: malformed edit %+v", e)
+				}
+				byFile[e.Filename] = append(byFile[e.Filename], e)
+			}
+		}
+	}
+
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	for _, name := range files {
+		edits := dedupeEdits(byFile[name])
+		kept := edits[:0]
+		lastEnd := -1
+		for _, e := range edits {
+			if e.Offset < lastEnd {
+				skipped++
+				continue
+			}
+			kept = append(kept, e)
+			lastEnd = e.End
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, skipped, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		if end := kept[len(kept)-1].End; end > len(src) {
+			return nil, skipped, fmt.Errorf("analysis: edit end %d past EOF of %s (%d bytes); file changed since analysis?", end, name, len(src))
+		}
+		out := make([]byte, 0, len(src))
+		prev := 0
+		for _, e := range kept {
+			out = append(out, src[prev:e.Offset]...)
+			out = append(out, e.NewText...)
+			prev = e.End
+		}
+		out = append(out, src[prev:]...)
+		info, err := os.Stat(name)
+		if err != nil {
+			return nil, skipped, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		if err := os.WriteFile(name, out, info.Mode().Perm()); err != nil {
+			return nil, skipped, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		changed = append(changed, name)
+	}
+	return changed, skipped, nil
+}
+
+// dedupeEdits sorts edits by position and drops exact duplicates (the
+// same insertion emitted once per diagnostic, e.g. an import addition).
+func dedupeEdits(edits []FileEdit) []FileEdit {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Offset != edits[j].Offset {
+			return edits[i].Offset < edits[j].Offset
+		}
+		if edits[i].End != edits[j].End {
+			return edits[i].End < edits[j].End
+		}
+		return edits[i].NewText < edits[j].NewText
+	})
+	out := edits[:0]
+	for i, e := range edits {
+		if i > 0 && e == edits[i-1] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

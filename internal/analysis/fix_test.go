@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFixture(t *testing.T, content string) string {
+	t.Helper()
+	name := filepath.Join(t.TempDir(), "f.go")
+	if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return name
+}
+
+func diagWithEdits(file string, edits ...FileEdit) Diagnostic {
+	return Diagnostic{
+		Analyzer: "test",
+		Message:  "m",
+		Fixes:    []SuggestedFix{{Message: "fix", Edits: edits}},
+	}
+}
+
+func TestApplyFixesSplices(t *testing.T) {
+	name := writeFixture(t, "abcdef")
+	changed, skipped, err := ApplyFixes([]Diagnostic{
+		diagWithEdits(name,
+			FileEdit{Filename: name, Offset: 1, End: 3, NewText: "XY"},
+			FileEdit{Filename: name, Offset: 5, End: 5, NewText: "+"},
+		),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(changed) != 1 {
+		t.Fatalf("changed=%v skipped=%d", changed, skipped)
+	}
+	got, _ := os.ReadFile(name)
+	if string(got) != "aXYde+f" {
+		t.Errorf("got %q, want %q", got, "aXYde+f")
+	}
+}
+
+// Two diagnostics emitting the same insertion (the import-addition
+// case) must apply it once, not twice.
+func TestApplyFixesDedupesIdenticalEdits(t *testing.T) {
+	name := writeFixture(t, "abc")
+	ins := FileEdit{Filename: name, Offset: 0, End: 0, NewText: "Z"}
+	_, skipped, err := ApplyFixes([]Diagnostic{
+		diagWithEdits(name, ins),
+		diagWithEdits(name, ins),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped=%d, want 0", skipped)
+	}
+	got, _ := os.ReadFile(name)
+	if string(got) != "Zabc" {
+		t.Errorf("got %q, want %q", got, "Zabc")
+	}
+}
+
+// Conflicting overlaps keep the first edit in position order and report
+// the rest as skipped, leaving the file parseable for a second run.
+func TestApplyFixesSkipsOverlaps(t *testing.T) {
+	name := writeFixture(t, "abcdef")
+	_, skipped, err := ApplyFixes([]Diagnostic{
+		diagWithEdits(name, FileEdit{Filename: name, Offset: 0, End: 4, NewText: "1"}),
+		diagWithEdits(name, FileEdit{Filename: name, Offset: 2, End: 5, NewText: "2"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped=%d, want 1", skipped)
+	}
+	got, _ := os.ReadFile(name)
+	if string(got) != "1ef" {
+		t.Errorf("got %q, want %q", got, "1ef")
+	}
+}
+
+func TestApplyFixesRejectsEditPastEOF(t *testing.T) {
+	name := writeFixture(t, "ab")
+	_, _, err := ApplyFixes([]Diagnostic{
+		diagWithEdits(name, FileEdit{Filename: name, Offset: 0, End: 99, NewText: "x"}),
+	})
+	if err == nil {
+		t.Fatal("expected an error for an edit past EOF")
+	}
+}

@@ -39,17 +39,23 @@ func TestMalformedIgnoreDirective(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sawMalformed, sawBad bool
+	var malformed int
+	var sawBad, sawBadBare, sawSuppressed bool
 	for _, d := range diags {
 		if strings.Contains(d.Message, "needs analyzer name(s) and a reason") {
-			sawMalformed = true
+			malformed++
 		}
-		if d.Message == "function Bad" {
+		switch d.Message {
+		case "function Bad":
 			sawBad = true // a reasonless directive must not suppress
+		case "function BadBare":
+			sawBadBare = true // nor a bare one
+		case "function BadSuppressed":
+			sawSuppressed = true // a well-formed directive must
 		}
 	}
-	if !sawMalformed || !sawBad {
-		t.Fatalf("want malformed-directive report and unsuppressed finding, got:\n%s", analysistest.Fprint(diags))
+	if malformed != 2 || !sawBad || !sawBadBare || sawSuppressed {
+		t.Fatalf("want 2 malformed-directive reports, unsuppressed Bad and BadBare, suppressed BadSuppressed; got:\n%s", analysistest.Fprint(diags))
 	}
 }
 

@@ -1,7 +1,13 @@
-// Package badreason holds a pcmaplint:ignore directive with no reason;
-// the framework must report the directive itself and decline to
+// Package badreason holds pcmaplint:ignore directives with no reason;
+// the framework must report each directive itself and decline to
 // suppress.
 package badreason
 
 //pcmaplint:ignore frametest
 func Bad() {}
+
+//pcmaplint:ignore
+func BadBare() {}
+
+//pcmaplint:ignore frametest suppressed with a recorded reason
+func BadSuppressed() {}

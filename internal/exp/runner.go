@@ -78,8 +78,10 @@ type Runner struct {
 	// a parallel sweep sharing one tracer would race.
 	Tracer *obs.Tracer
 
-	mu    sync.Mutex
-	memo  map[Spec]*system.Results
+	mu sync.Mutex
+	//pcmaplint:guardedby mu
+	memo map[Spec]*system.Results
+	//pcmaplint:guardedby mu
 	calls map[Spec]*inflight
 
 	// simulate executes one run; tests substitute it to count or fail
@@ -91,10 +93,15 @@ type Runner struct {
 	// engine events they stepped, and their summed per-sim wall time.
 	// Wall-clock feeds only stderr progress reporting — it never enters
 	// simulation results, which stay a function of config and seed.
-	sims     uint64
-	events   uint64
+	//pcmaplint:guardedby mu
+	sims uint64
+	//pcmaplint:guardedby mu
+	events uint64
+	//pcmaplint:guardedby mu
 	simsWall time.Duration
-	hits     uint64 // disk-cache loads (resume)
+	// hits counts disk-cache loads (resume).
+	//pcmaplint:guardedby mu
+	hits uint64
 }
 
 // inflight is one in-progress execution other callers can wait on.

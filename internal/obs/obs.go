@@ -65,21 +65,33 @@ type trackInfo struct {
 //
 // A nil *Tracer is valid and inert: every method returns immediately.
 type Tracer struct {
-	ring    []record
-	head    int // next slot to write
-	n       int // number of live records (≤ len(ring))
+	//pcmaplint:guardedby single-goroutine
+	ring []record
+	// head is the next slot to write.
+	//pcmaplint:guardedby single-goroutine
+	head int
+	// n is the number of live records (≤ len(ring)).
+	//pcmaplint:guardedby single-goroutine
+	n int
+	//pcmaplint:guardedby single-goroutine
 	dropped uint64
 
 	// sampleN thins high-frequency counter records: only every Nth
 	// Count call per tracer is kept. Spans and instants are never
 	// sampled — they are the records that explain a timeline, and the
 	// ring already bounds their cost.
-	sampleN  int
+	//pcmaplint:guardedby single-goroutine
+	sampleN int
+	//pcmaplint:guardedby single-goroutine
 	countSeq uint64
 
+	//pcmaplint:guardedby single-goroutine
 	tracks []trackInfo
-	names  []string
-	procs  []string // distinct process names, registration order
+	//pcmaplint:guardedby single-goroutine
+	names []string
+	// procs holds distinct process names, in registration order.
+	//pcmaplint:guardedby single-goroutine
+	procs []string
 }
 
 // DefaultCapacity is the ring size used when Option WithCapacity is not

@@ -165,6 +165,7 @@ type Server struct {
 	cfg Config
 	mux *http.ServeMux
 
+	//pcmaplint:chanowner never closed; workers exit via stop, queued tasks are cancelled by baseCancel
 	queue chan *task
 	stop  chan struct{}
 	once  sync.Once // guards close(stop)
@@ -187,12 +188,18 @@ type Server struct {
 	// mu guards the runner table, the aggregate registry (including
 	// lazy materialization of per-result registries), and the jitter
 	// stream.
-	mu          sync.Mutex
-	runners     map[budgets]*exp.Runner
-	retiredSims uint64 // totals folded in from retired runners
+	mu sync.Mutex
+	//pcmaplint:guardedby mu
+	runners map[budgets]*exp.Runner
+	// retiredSims/retiredHits are totals folded in from retired runners.
+	//pcmaplint:guardedby mu
+	retiredSims uint64
+	//pcmaplint:guardedby mu
 	retiredHits uint64
-	agg         *stats.Registry
-	jitter      *sim.RNG
+	//pcmaplint:guardedby mu
+	agg *stats.Registry
+	//pcmaplint:guardedby mu
+	jitter *sim.RNG
 }
 
 // New builds a Server from cfg (zero values defaulted, see Config).
@@ -282,6 +289,7 @@ func (s *Server) logf(format string, a ...any) {
 func (s *Server) Main(ln net.Listener, sig <-chan os.Signal, drainTimeout time.Duration) int {
 	hs := &http.Server{Handler: s.Handler()}
 	s.Start()
+	//pcmaplint:chanowner buffered single-shot; Serve's goroutine sends once and exits, nobody closes it
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	s.logf("serving on %s", ln.Addr())
@@ -297,6 +305,7 @@ func (s *Server) Main(ln net.Listener, sig <-chan os.Signal, drainTimeout time.D
 
 	s.logf("signal received: draining in-flight jobs (deadline %s; second signal forces exit)", drainTimeout)
 	s.BeginDrain()
+	//pcmaplint:chanowner buffered single-shot; the drain goroutine sends once and exits, nobody closes it
 	drained := make(chan error, 1)
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)

@@ -21,16 +21,27 @@ import (
 // A Registry is not safe for concurrent use, matching the rest of the
 // simulator: one system, one goroutine.
 type Registry struct {
-	prefix string // "" at the root; "mem." for Sub("mem") views
+	// prefix is "" at the root; "mem." for Sub("mem") views.
+	//pcmaplint:guardedby single-goroutine
+	prefix string
+	//pcmaplint:guardedby single-goroutine
 	shared *regState
 }
 
 // regState is the storage shared by a root registry and all its Sub
-// views.
+// views. Like the registry itself it is single-goroutine: concurrent
+// users (the serve layer's aggregate) must wrap every touch in their
+// own lock.
 type regState struct {
-	order []string            // full dotted names, registration order
-	index map[string]*Counter // full dotted name -> counter
-	owned map[string]*Counter // counters allocated by the registry itself
+	// order holds full dotted names, in registration order.
+	//pcmaplint:guardedby single-goroutine
+	order []string
+	// index maps full dotted name -> counter.
+	//pcmaplint:guardedby single-goroutine
+	index map[string]*Counter
+	// owned holds the counters allocated by the registry itself.
+	//pcmaplint:guardedby single-goroutine
+	owned map[string]*Counter
 }
 
 // NewRegistry returns an empty root registry.
