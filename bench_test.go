@@ -60,6 +60,32 @@ func BenchmarkFig1(b *testing.B) {
 	}
 }
 
+// BenchmarkFig1Shards4 is BenchmarkFig1 with every simulation sharded
+// across 4 goroutines at the channel boundary (internal/pdes). Results
+// are bit-identical to the sequential run; the benchmark exists to
+// track the parallel scheduler's wall-clock scaling (compare ns/op
+// against BenchmarkFig1 on a multi-core host) and to gate its per-op
+// allocations — window dispatch reuses pooled outbox slices and the
+// per-shard engines' event arenas, so the sharded run must not allocate
+// per event.
+func BenchmarkFig1Shards4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		r.Shards = 4
+		asym, err := r.Run(exp.Spec{Workload: "cactusADM", Variant: config.Baseline})
+		if err != nil {
+			b.Fatal(err)
+		}
+		symm, err := r.Run(exp.Spec{Workload: "cactusADM", Variant: config.Baseline, Symmetric: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delayed := float64(asym.Mem.ReadsDelayedByWrite.Value()) / float64(asym.Mem.Reads.Value()+1)
+		b.ReportMetric(100*delayed, "%reads-delayed")
+		b.ReportMetric(asym.Mem.ReadLatency.MeanNS()/symm.Mem.ReadLatency.MeanNS(), "latency-vs-symmetric")
+	}
+}
+
 // BenchmarkFig2 regenerates Figure 2's dirty-word distribution for the
 // paper's two anchor programs.
 func BenchmarkFig2(b *testing.B) {

@@ -36,7 +36,7 @@ var WallTime = &analysis.Analyzer{
 // exercise the same path as module packages.
 var deterministicPkgs = map[string]bool{
 	"sim": true, "core": true, "cpu": true, "pcm": true, "dimm": true,
-	"noc": true, "cache": true, "mem": true, "system": true,
+	"noc": true, "cache": true, "mem": true, "system": true, "pdes": true,
 }
 
 // wallClockFuncs are the time-package functions banned in sim-core:

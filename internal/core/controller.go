@@ -64,6 +64,19 @@ type Controller struct {
 	readWaiters  []func()
 	writeWaiters []func()
 
+	// PDES sharding state (see shard.go). rt is nil in single-threaded
+	// runs; postPending and hazardWrites feed PostHorizon and are only
+	// touched from the shard's owning context (worker goroutine or
+	// fenced coordinator), never concurrently.
+	rt          ShardRuntime
+	shard       int
+	postPending []sim.Time
+	// hazardWrites counts queued writes that could complete silently at
+	// their issue instant (empty mask or caller-supplied data), which
+	// collapses the shard's lookahead to zero while one is pending.
+	hazardWrites int
+	minSvc       sim.Time // min issue-to-completion latency (lookahead floor)
+
 	// AssertContent makes the controller panic if a PCC reconstruction
 	// ever disagrees with stored content absent injected faults;
 	// enabled by tests.
@@ -117,6 +130,13 @@ func NewController(eng *sim.Engine, cfgAll *config.Config, channel int, amap *me
 	c.runTimer = eng.NewTimer(c.run)
 	c.kickTimer = eng.NewTimer(c.kick)
 	c.dataBus.Turnaround = m.Timing.TWTR.Time()
+	// Shard lookahead floor: no issue path completes (and therefore
+	// posts to the front end) sooner than the smaller of the read and
+	// write bus-lead latencies after its scheduling pass.
+	c.minSvc = m.Timing.TCL.Time()
+	if wl := m.Timing.TWL.Time(); wl < c.minSvc {
+		c.minSvc = wl
+	}
 	if fc := (pcm.FaultConfig{EnduranceBudget: m.EnduranceBudget, DriftProb: m.DriftProb}); fc.Enabled() {
 		// The fault model owns a private randomness stream derived from
 		// the seed and channel only, so enabling injection never
@@ -250,6 +270,9 @@ func (c *Controller) Enqueue(r *mem.Request) bool {
 		}
 	}
 	if ok {
+		if r.Kind == mem.Write && (r.Mask == 0 || r.Data != nil) {
+			c.hazardWrites++
+		}
 		c.Metrics.NoteArrival(r.Arrive)
 		if c.trace != nil {
 			if r.Kind == mem.Read {

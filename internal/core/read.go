@@ -183,6 +183,7 @@ func (c *Controller) issueRead(r *mem.Request, p readPlan) {
 	}
 	c.decodeRead(r, p.coord.LineIdx)
 
+	c.notePost(done)
 	c.eng.At(done, func() { c.completeRead(r, p, verifyAt) })
 }
 
@@ -250,6 +251,7 @@ func (c *Controller) decodeRead(r *mem.Request, lineIdx uint64) {
 }
 
 func (c *Controller) completeRead(r *mem.Request, p readPlan, verifyAt sim.Time) {
+	c.dropPost()
 	r.Done = c.eng.Now()
 	c.rdq.Remove(r)
 	c.Metrics.Reads.Inc()
@@ -267,29 +269,56 @@ func (c *Controller) completeRead(r *mem.Request, p readPlan, verifyAt sim.Time)
 	if !r.Reconstructed {
 		// SECDED runs inline (when the ECC chip streamed with the
 		// data) or is postponed; either way a single-bit fault is
-		// corrected before the CPU commits, without rollback.
-		if faulty {
-			c.Metrics.ECCCorrected.Inc()
-		}
+		// corrected before the CPU commits, without rollback. The
+		// front-end tail (ECC accounting, OnDone, space notification,
+		// kick) crosses the shard boundary as one unit so its callbacks
+		// run in the sequential engine's order.
+		c.postReadDone(r, faulty)
+	} else if c.rt == nil {
+		// Keep the engine's historical sequence assignment order —
+		// OnDone's spawns, then the verify read-back, then space
+		// notifications and the kick — so a future event that happens
+		// to share the verify's timestamp keeps its relative order
+		// against OnDone's descendants.
 		if r.OnDone != nil {
 			r.OnDone(r)
 		}
+		c.scheduleVerifyRecon(r, verifyAt, faulty)
+		c.notifySpace(mem.Read)
+		c.kick()
 	} else {
-		if r.OnDone != nil {
-			r.OnDone(r)
-		}
-		c.eng.At(verifyAt, func() {
-			c.Metrics.RoWVerifies.Inc()
-			if faulty {
-				c.Metrics.RoWFaulty.Inc()
+		// Sharded: the whole tail is posted and replays the sequential
+		// statement order on the front end; the verify read-back is
+		// scheduled back onto the shard engine under a fence, so its
+		// tie-breaker is drawn from the live counter at the same
+		// relative position (after OnDone's spawns) the single-engine
+		// run assigns it.
+		c.post(func() {
+			if r.OnDone != nil {
+				r.OnDone(r)
 			}
-			if r.OnVerify != nil {
-				r.OnVerify(r, faulty)
-			}
+			c.rt.BeginCross(c.shard)
+			c.scheduleVerifyRecon(r, verifyAt, faulty)
+			c.rt.EndCross(c.shard)
+			c.notifySpace(mem.Read)
+			c.kickCross()
 		})
 	}
-	c.notifySpace(mem.Read)
-	c.kick()
+}
+
+// scheduleVerifyRecon schedules the deferred SECDED verification of a
+// reconstructed read at verifyAt (when the busy chip has freed and
+// streamed the missing word).
+func (c *Controller) scheduleVerifyRecon(r *mem.Request, verifyAt sim.Time, faulty bool) {
+	c.notePost(verifyAt)
+	c.eng.At(verifyAt, func() {
+		c.dropPost()
+		c.Metrics.RoWVerifies.Inc()
+		if faulty {
+			c.Metrics.RoWFaulty.Inc()
+		}
+		c.postVerify(r, faulty)
+	})
 }
 
 // injectedFault samples the configured fault model: FaultMode overrides

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"pcmap/internal/mem"
+	"pcmap/internal/sim"
+)
+
+// This file is the memory side of the PDES sharding boundary
+// (internal/pdes): when a simulation runs with -shards N, every channel
+// controller lives on a private shard engine driven by a worker
+// goroutine, while the CPU/cache/NoC front end stays on the main
+// engine. All cross-boundary traffic funnels through exactly two
+// mechanisms so the sharded run executes the same events in the same
+// (at, seq) total order as the single-threaded engine:
+//
+//   - front end -> shard: Memory.Submit/CanAccept (and the scheduler
+//     kick after a completion) run under a BeginCross/EndCross fence —
+//     the coordinator joins the shard's in-flight window, aligns its
+//     clock, and threads the sequence counter through the call;
+//   - shard -> front end: completion callbacks (OnDone, OnVerify,
+//     queue-space notifications) are posted as stamped events through
+//     the runtime's single-writer per-shard outboxes and merged into
+//     the front-end heap in key order.
+//
+// With rt == nil (the -shards 1 default) every helper below collapses
+// to a direct call and the legacy single-engine path is untouched.
+
+// ShardRuntime is the coordinator-side contract the controllers use to
+// cross the shard boundary. internal/pdes implements it; internal/system
+// wires it in. All three methods are documented in terms of execution
+// context: PostFE is called from a shard's running context (its worker
+// goroutine, or the coordinator running an inline window), BeginCross
+// and EndCross only from the coordinator (front-end) context.
+type ShardRuntime interface {
+	// PostFE queues fn for execution on the front-end engine at the
+	// given (at, seq) key — the key of the shard event emitting the
+	// post, whose inline tail fn is. tailSeq is the shard engine's
+	// live sequence counter at the call: the front end resumes it
+	// before running fn, so everything fn schedules draws the same
+	// tie-breakers the single shared engine would have assigned
+	// mid-event. An event may post at most once (a second post would
+	// duplicate the key).
+	PostFE(shard int, at sim.Time, seq, tailSeq uint64, fn func())
+	// BeginCross prepares shard for a synchronous front-end call: it
+	// joins the shard's in-flight window (if any), integrates its
+	// outbox, aligns the shard clock with the front end, and hands the
+	// front end's sequence counter to the shard engine.
+	BeginCross(shard int)
+	// EndCross returns the sequence counter to the front-end engine
+	// after the synchronous call.
+	EndCross(shard int)
+}
+
+// bindShard attaches the controller to a shard runtime. Called once by
+// Memory.SetShardRuntime before the simulation starts.
+func (c *Controller) bindShard(rt ShardRuntime, shard int) {
+	c.rt = rt
+	c.shard = shard
+}
+
+// post hands fn to the front end stamped with the key of the event
+// currently executing on the shard engine, plus the live counter for
+// fn's own scheduling. On a single shared engine fn's work would run
+// inline inside that very event, so its position among same-instant
+// front-end events is decided by the event's own tie-breaker —
+// assigned when the event was scheduled, not when it fires — and its
+// spawns draw counter values mid-event. Single-threaded runs call fn
+// inline (callers avoid even building the closure on that path).
+// Callers post at most once per executed event, as the tail of the
+// event's work.
+func (c *Controller) post(fn func()) {
+	c.rt.PostFE(c.shard, c.eng.Now(), c.eng.CurSeq(), c.eng.Seq(), fn)
+}
+
+// kickCross schedules a scheduling pass after a completion's front-end
+// callbacks ran. In a sharded run the callbacks execute on the front
+// end, so the kick must cross back into the shard under a fence; the
+// fence orders the kick's run event after everything the callbacks
+// scheduled, exactly as the sequential engine does.
+func (c *Controller) kickCross() {
+	if c.rt == nil {
+		c.kick()
+		return
+	}
+	c.rt.BeginCross(c.shard)
+	c.kick()
+	c.rt.EndCross(c.shard)
+}
+
+// readDoneFE is the front-end-visible tail of a read completion: ECC
+// accounting, the requester's callback, queue-space notification, and
+// the scheduler kick, in the sequential engine's exact order. eccFix
+// reports whether an injected correctable fault was absorbed inline.
+func (c *Controller) readDoneFE(r *mem.Request, eccFix bool) {
+	if eccFix {
+		c.Metrics.ECCCorrected.Inc()
+	}
+	if r.OnDone != nil {
+		r.OnDone(r)
+	}
+	c.notifySpace(mem.Read)
+	c.kickCross()
+}
+
+// postReadDone routes readDoneFE across the shard boundary. The
+// closure is only materialized on the sharded path, keeping the
+// single-threaded completion alloc-free.
+func (c *Controller) postReadDone(r *mem.Request, eccFix bool) {
+	if c.rt == nil {
+		c.readDoneFE(r, eccFix)
+		return
+	}
+	c.post(func() { c.readDoneFE(r, eccFix) })
+}
+
+// writeDoneFE is the front-end-visible tail of a write completion.
+func (c *Controller) writeDoneFE(r *mem.Request) {
+	if r.OnDone != nil {
+		r.OnDone(r)
+	}
+	c.notifySpace(mem.Write)
+	c.kickCross()
+}
+
+// postWriteDone routes writeDoneFE across the shard boundary.
+func (c *Controller) postWriteDone(r *mem.Request) {
+	if c.rt == nil {
+		c.writeDoneFE(r)
+		return
+	}
+	c.post(func() { c.writeDoneFE(r) })
+}
+
+// postVerify routes a reconstructed read's verification outcome to the
+// front end.
+func (c *Controller) postVerify(r *mem.Request, faulty bool) {
+	if c.rt == nil {
+		if r.OnVerify != nil {
+			r.OnVerify(r, faulty)
+		}
+		return
+	}
+	c.post(func() {
+		if r.OnVerify != nil {
+			r.OnVerify(r, faulty)
+		}
+	})
+}
+
+// notePost records that an event scheduled at t may emit a front-end
+// post when it fires (completions and their verify chains). dropPost
+// retires the entry when the event executes. Together they give
+// PostHorizon an exact view of the already-scheduled completion times.
+// Both run only in the shard's owning context, so no lock is needed.
+func (c *Controller) notePost(t sim.Time) {
+	c.postPending = append(c.postPending, t)
+}
+
+func (c *Controller) dropPost() {
+	now := c.eng.Now()
+	for i, t := range c.postPending {
+		if t == now {
+			last := len(c.postPending) - 1
+			c.postPending[i] = c.postPending[last]
+			c.postPending = c.postPending[:last]
+			return
+		}
+	}
+}
+
+// PostHorizon reports a conservative lower bound on the simulated time
+// of the earliest front-end post this controller could emit, given
+// that its next pending engine event is at next. This is the shard's
+// lookahead: the PDES coordinator lets other shards (and the front
+// end) run strictly below it in parallel.
+//
+// Two sources bound the horizon. Already-scheduled completion-chain
+// events (tracked by notePost) post at known times. New completions
+// minted by a future scheduling pass inherit the channel's minimum
+// service latency: a read completes no earlier than issue + TCL, a
+// write no earlier than issue + TWL (both satisfied by every issue
+// path, including pausing and verify chains, whose later events are
+// tracked individually). The one zero-latency case is a fully silent
+// fine-grained write-back — a queued write with no essential words
+// completes at its own issue instant — so any queued write that could
+// be silent (empty mask, or caller-supplied data that may match the
+// stored line) collapses the lookahead to zero.
+func (c *Controller) PostHorizon(next sim.Time) sim.Time {
+	h := sim.Time(1<<63 - 1)
+	for _, t := range c.postPending {
+		if t < h {
+			h = t
+		}
+	}
+	if c.rdq.Len() > 0 || c.wrq.Len() > 0 {
+		mint := next
+		if c.hazardWrites == 0 {
+			mint += c.minSvc
+		}
+		if mint < h {
+			h = mint
+		}
+	}
+	return h
+}

@@ -185,7 +185,11 @@ func (c *Controller) issueCoarseWrite(r *mem.Request) {
 		}
 	}
 
-	c.eng.At(end, func() { c.maybeVerifyWrite(r, aw) })
+	c.notePost(end)
+	c.eng.At(end, func() {
+		c.dropPost()
+		c.maybeVerifyWrite(r, aw)
+	})
 }
 
 // fineJob describes one chip-word programming job of a fine write.
@@ -235,7 +239,11 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 		}
 		aw := &activeWrite{req: r, bank: coord.Bank, essCount: 0, end: end}
 		c.active = append(c.active, aw)
-		c.eng.At(end, func() { c.completeWrite(r, aw) })
+		c.notePost(end)
+		c.eng.At(end, func() {
+			c.dropPost()
+			c.completeWrite(r, aw)
+		})
 		return
 	}
 
@@ -333,7 +341,9 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 	aw := &activeWrite{req: r, bank: coord.Bank, essCount: essCount, end: end,
 		coord: coord, intended: intended, mask: r.Mask}
 	c.active = append(c.active, aw)
+	c.notePost(end)
 	c.eng.At(end, func() {
+		c.dropPost()
 		c.powerInUse -= power
 		c.maybeVerifyWrite(r, aw)
 	})
@@ -353,9 +363,8 @@ func (c *Controller) completeWrite(r *mem.Request, aw *activeWrite) {
 		c.trace.Span(c.trkService, c.nmWrite, r.Arrive, r.Done-r.Arrive)
 		c.trace.Count(c.trkWrq, c.nmDepth, r.Done, int64(c.wrq.Len()))
 	}
-	if r.OnDone != nil {
-		r.OnDone(r)
+	if c.hazardWrites > 0 && (r.Mask == 0 || r.Data != nil) {
+		c.hazardWrites--
 	}
-	c.notifySpace(mem.Write)
-	c.kick()
+	c.postWriteDone(r)
 }

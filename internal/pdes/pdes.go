@@ -1,0 +1,440 @@
+// Package pdes is a conservative parallel discrete-event scheduler
+// that shards one simulation across goroutines at the memory-channel
+// boundary, producing bit-identical results to the single-threaded
+// engine by construction.
+//
+// # Decomposition
+//
+// The front end (cores, caches, NoC, the memory facade) keeps the main
+// engine and executes on the coordinator — the goroutine that calls
+// Run. Each shard owns a private sim.Engine carrying one or more
+// channel controllers, driven by a dedicated worker goroutine. The
+// partition follows the paper's own parallelism argument: channels
+// share nothing with each other, so all cross-shard traffic flows
+// through the front end.
+//
+// # Why windows, and where lookahead comes from
+//
+// A shard may run ahead of the global clock only while nothing outside
+// it can influence it and it cannot influence anything outside. The
+// coordinator therefore dispatches bounded windows: a shard executes
+// events with key strictly below the minimum over every other engine's
+// next pending key and every in-flight window's post floor. The floor
+// is the shard's lookahead — a lower bound on the earliest cross-shard
+// message it could emit, derived from its already-scheduled completion
+// times plus the channel's minimum service latency (a read posts no
+// sooner than TCL after its scheduling pass, a write no sooner than
+// TWL). The one genuinely zero-lookahead case, a fully silent
+// write-back completing at its own issue instant, collapses the window
+// and serializes that span exactly.
+//
+// # Why the merge is bit-identical
+//
+// The sequential engine orders events by (time, seq) with seq assigned
+// by one monotone counter. The sharded run preserves that total order
+// with sequence blocks: before executing or dispatching each event the
+// coordinator hands it a fresh block of the global sequence space, and
+// blocks are allocated in execution order. Any two events therefore
+// compare exactly as their sequential counterparts would: relative
+// order inside a block matches the spawn order, and across blocks the
+// allocation order matches the sequential execution order. Synchronous
+// front-end-to-shard calls (Submit, the post-completion kick) thread
+// the live counter through the call via BeginCross/EndCross, and
+// shard-to-front-end messages carry keys assigned on the shard and are
+// merged with Engine.AtSeq. A posted message carries the key of the
+// shard event that emitted it — on the shared engine its work would
+// have run inline inside that event — and no engine is ever allowed
+// past an in-flight window's floor, so every post is integrated before
+// any engine reaches its key. The determinism harness verifies the
+// result rather than assuming it: -shards N output is byte-compared
+// against the single-threaded run.
+package pdes
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"pcmap/internal/sim"
+)
+
+// Key is an engine event key: the (time, sequence) pair the heap
+// orders by. Seq is unique per engine run, so Key is a total order.
+type Key struct {
+	At  sim.Time
+	Seq uint64
+}
+
+// Less reports whether k orders strictly before o.
+func (k Key) Less(o Key) bool {
+	return k.At < o.At || (k.At == o.At && k.Seq < o.Seq)
+}
+
+// maxKey is the identity of min over keys.
+var maxKey = Key{At: math.MaxInt64, Seq: math.MaxUint64}
+
+// Post is one cross-shard message: a front-end callback stamped with
+// the key of the shard event that emitted it (on a single shared
+// engine the callback would have run inline within that event) and the
+// counter value the callback's own scheduling resumes from.
+type Post struct {
+	At   sim.Time
+	Seq  uint64
+	Tail uint64
+	Fn   func()
+}
+
+// Shard is one partition of the simulation.
+type Shard struct {
+	// Eng is the shard's private engine.
+	Eng *sim.Engine
+	// Horizon reports a lower bound on the simulated time of the
+	// earliest front-end post the shard could emit, given that its
+	// next pending event is at next. A nil Horizon means zero
+	// lookahead (the bound is next itself).
+	Horizon func(next sim.Time) sim.Time
+}
+
+// Sequence-block strides. A front-end event's spawns draw from a
+// feStride-sized block; a dispatched window draws eventStride per
+// executed event from a windowStride-sized range. The strides bound
+// spawns per event at 2^20 and events per window at 2^12 — both far
+// beyond anything the simulator produces, while total consumption
+// stays far below 2^64 for any realizable run length.
+const (
+	feStride     = 1 << 20
+	eventStride  = 1 << 20
+	windowStride = 1 << 32
+)
+
+// dispatchMinWindow is the narrowest window (in simulated ticks) worth
+// the channel round-trip to a worker goroutine; anything narrower runs
+// inline on the coordinator. Two memory cycles is comfortably below
+// the TCL/TWL lookahead that opens real windows, and comfortably above
+// the degenerate zero-width windows of fenced same-instant traffic.
+const dispatchMinWindow = 2 * sim.MemCycle
+
+// window is one dispatched unit of work for a shard worker.
+type window struct {
+	limit Key
+	base  uint64 // first sequence block of the window's range
+	end   uint64 // exclusive end of the range
+}
+
+// report is a worker's account of a finished window.
+type report struct {
+	shard int
+	posts []Post
+}
+
+// Runtime coordinates the front-end engine and the shard workers. It
+// implements core.ShardRuntime. All exported methods are
+// coordinator-context only, except PostFE (shard running context).
+type Runtime struct {
+	fe     *sim.Engine
+	shards []*Shard
+
+	// nextSeq is the global sequence-block allocator; strictly
+	// monotone across the runtime's whole life, so keys never collide
+	// between Run calls.
+	nextSeq uint64
+
+	// posts counts integrated cross-shard messages. Each is an extra
+	// engine event the sequential run performs inline, so callers
+	// subtract it when comparing event counts across modes.
+	posts uint64
+
+	// outbox[s] is the shard's inbox buffer toward the front end:
+	// written by shard s's running context (its worker between window
+	// receipt and report send, or the coordinator during an inline
+	// window) and swapped by the coordinator while s is idle; the
+	// windows/reports channel handoffs order every transfer of
+	// ownership, so no access ever races.
+	outbox [][]Post
+	// spare holds each shard's other ping-pong outbox buffer.
+	//pcmaplint:guardedby single-goroutine
+	spare [][]Post
+
+	inflight  []bool
+	floors    []Key
+	nInflight int
+
+	//pcmaplint:chanowner windows[s] is written and closed by the
+	// coordinator at the end of each Run; shard s's worker only reads.
+	windows []chan window
+	// reports is written by workers and read by the coordinator, which
+	// joins every worker (WaitGroup) before Run returns, then discards
+	// the channel — it is never closed.
+	//pcmaplint:chanowner coordinator reads; workers joined before Run returns; never closed
+	reports chan report
+}
+
+// New builds a runtime over the front-end engine and its shards. The
+// sequence allocator starts above every key assigned during
+// construction, so run-time blocks order after build-time events.
+func New(fe *sim.Engine, shards []*Shard) *Runtime {
+	r := &Runtime{fe: fe, shards: shards}
+	r.nextSeq = fe.Seq() + 1
+	for _, sh := range shards {
+		if s := sh.Eng.Seq() + 1; s > r.nextSeq {
+			r.nextSeq = s
+		}
+	}
+	r.outbox = make([][]Post, len(shards))
+	r.spare = make([][]Post, len(shards))
+	r.inflight = make([]bool, len(shards))
+	r.floors = make([]Key, len(shards))
+	return r
+}
+
+// Posts returns the number of cross-shard messages integrated so far.
+func (r *Runtime) Posts() uint64 { return r.posts }
+
+// allocBlock reserves a sequence range of the given stride.
+func (r *Runtime) allocBlock(stride uint64) uint64 {
+	b := r.nextSeq
+	r.nextSeq += stride
+	return b
+}
+
+// head returns engine e's next pending key.
+func head(e *sim.Engine) (Key, bool) {
+	at, seq, ok := e.PeekNext()
+	return Key{At: at, Seq: seq}, ok
+}
+
+// PostFE implements core.ShardRuntime: it appends one stamped message
+// to the shard's current outbox. Called from the shard's running
+// context; the buffer is single-writer by the ownership protocol
+// documented on Runtime.outbox.
+func (r *Runtime) PostFE(shard int, at sim.Time, seq, tailSeq uint64, fn func()) {
+	r.outbox[shard] = append(r.outbox[shard], Post{At: at, Seq: seq, Tail: tailSeq, Fn: fn})
+}
+
+// BeginCross implements core.ShardRuntime: join the shard's in-flight
+// window, then align its clock and hand it the live sequence counter
+// so the synchronous call's scheduling is indistinguishable from the
+// single-engine run.
+func (r *Runtime) BeginCross(shard int) {
+	for r.inflight[shard] {
+		r.integrate(<-r.reports)
+	}
+	sh := r.shards[shard].Eng
+	sh.SyncNow(r.fe.Now())
+	sh.SetNextSeq(r.fe.Seq())
+}
+
+// EndCross implements core.ShardRuntime: return the counter.
+func (r *Runtime) EndCross(shard int) {
+	r.fe.SetNextSeq(r.shards[shard].Eng.Seq())
+}
+
+// integrate lands a finished window: marks the shard idle and merges
+// its posts into the front-end heap under their shard-assigned keys.
+// Every post's key is provably at or after the front end's current
+// instant (the coordinator never executes past an in-flight floor), so
+// the merge cannot schedule into the past. The wrapper resumes the
+// emitting event's counter mid-block, so the tail's spawns slot into
+// the sequence space exactly where the inline call would have put
+// them — the remainder of the event's stride is its reserved room.
+func (r *Runtime) integrate(rep report) {
+	for _, p := range rep.posts {
+		p := p
+		r.fe.AtSeq(p.At, p.Seq, func() {
+			r.fe.SetNextSeq(p.Tail)
+			p.Fn()
+		})
+	}
+	r.posts += uint64(len(rep.posts))
+	r.spare[rep.shard] = rep.posts[:0]
+	r.inflight[rep.shard] = false
+	r.nInflight--
+}
+
+// runWindow executes one shard window: events strictly below the
+// limit, each under a fresh sequence block, stopping early if the
+// range runs dry (the coordinator simply re-dispatches from where the
+// window left off) — or, crucially, immediately after any event that
+// posts. The floor protocol keeps every OTHER engine below a pending
+// post's key, but only stopping protects the shard from its own
+// boomerang causality: the post's front-end tail may fence new events
+// back into this very shard (a retried submit, a verify read-back) at
+// keys above the post but below the window's limit, events a
+// continuing window would wrongly run past. Runs in the shard's
+// running context.
+func (r *Runtime) runWindow(shard int, w window) {
+	eng := r.shards[shard].Eng
+	base := w.base
+	for {
+		k, ok := head(eng)
+		if !ok || !k.Less(w.limit) || base+eventStride > w.end {
+			return
+		}
+		eng.SetNextSeq(base)
+		base += eventStride
+		eng.Step()
+		if len(r.outbox[shard]) > 0 {
+			return
+		}
+	}
+}
+
+// horizonKey computes a dispatch-time lower bound on every key the
+// shard's window could post. A post carries its emitting event's key,
+// so it is bounded below both by the window's start m and by the
+// shard's Horizon time (posts at the horizon instant can carry any
+// tie-breaker, hence sequence zero).
+func (r *Runtime) horizonKey(shard int, m Key) Key {
+	sh := r.shards[shard]
+	h := m.At
+	if sh.Horizon != nil {
+		h = sh.Horizon(m.At)
+	}
+	if h <= m.At {
+		return m
+	}
+	return Key{At: h, Seq: 0}
+}
+
+// minFloor is the least in-flight post floor.
+func (r *Runtime) minFloor() Key {
+	m := maxKey
+	for i, f := range r.floors {
+		if r.inflight[i] && f.Less(m) {
+			m = f
+		}
+	}
+	return m
+}
+
+// cancelCheckInterval matches the single-threaded runner's cadence of
+// context checks per executed event.
+const cancelCheckInterval = 8192
+
+// Run drives every engine until no events remain anywhere, honoring
+// ctx like the single-threaded engine loop does. Workers live for the
+// duration of one Run call: they are joined (and their last windows
+// integrated) before Run returns, on success, cancellation, or panic,
+// so no goroutine outlives the simulation it belongs to.
+func (r *Runtime) Run(ctx context.Context) error {
+	// Construction and between-run scheduling (workload phase starts)
+	// draw from the engines' live counters; blocks must start above
+	// everything already assigned.
+	if s := r.fe.Seq() + 1; s > r.nextSeq {
+		r.nextSeq = s
+	}
+	for _, sh := range r.shards {
+		if s := sh.Eng.Seq() + 1; s > r.nextSeq {
+			r.nextSeq = s
+		}
+	}
+
+	var wg sync.WaitGroup
+	r.windows = make([]chan window, len(r.shards))
+	r.reports = make(chan report, len(r.shards))
+	for i := range r.shards {
+		ch := make(chan window, 1)
+		r.windows[i] = ch
+		wg.Add(1)
+		go func(shard int, windows <-chan window) {
+			defer wg.Done()
+			for w := range windows {
+				r.runWindow(shard, w)
+				r.reports <- report{shard: shard, posts: r.outbox[shard]}
+			}
+		}(i, ch)
+	}
+	defer func() {
+		for r.nInflight > 0 {
+			r.integrate(<-r.reports)
+		}
+		for _, ch := range r.windows {
+			close(ch)
+		}
+		wg.Wait()
+	}()
+
+	cancellable := ctx != nil && ctx.Done() != nil
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	checks := 0
+	for {
+		if cancellable {
+			if checks++; checks >= cancelCheckInterval {
+				checks = 0
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Global minimum over idle engines' heads; -1 names the front
+		// end.
+		best := -2
+		m := maxKey
+		if k, ok := head(r.fe); ok {
+			m, best = k, -1
+		}
+		for i, sh := range r.shards {
+			if r.inflight[i] {
+				continue
+			}
+			if k, ok := head(sh.Eng); ok && k.Less(m) {
+				m, best = k, i
+			}
+		}
+
+		if best == -2 && r.nInflight == 0 {
+			return nil // every heap drained, nothing in flight
+		}
+		if best == -2 || !m.Less(r.minFloor()) {
+			// Nothing safely below an in-flight window's possible
+			// posts: wait for a report.
+			r.integrate(<-r.reports)
+			continue
+		}
+
+		if best == -1 {
+			// Front-end event: execute inline under a fresh block. Any
+			// fence it performs joins the target shard first, and every
+			// in-flight window's limit is provably at or below this
+			// key, so the fence can never observe a shard beyond it.
+			r.fe.SetNextSeq(r.allocBlock(feStride))
+			r.fe.Step()
+			continue
+		}
+
+		// Shard window: bounded by every other engine's next key and
+		// every in-flight floor.
+		limit := r.minFloor()
+		if k, ok := head(r.fe); ok && k.Less(limit) {
+			limit = k
+		}
+		for i, sh := range r.shards {
+			if i == best || r.inflight[i] {
+				continue
+			}
+			if k, ok := head(sh.Eng); ok && k.Less(limit) {
+				limit = k
+			}
+		}
+		base := r.allocBlock(windowStride)
+		w := window{limit: limit, base: base, end: base + windowStride}
+		r.outbox[best] = r.spare[best][:0]
+		r.spare[best] = nil
+		if limit.At-m.At >= dispatchMinWindow {
+			r.floors[best] = r.horizonKey(best, m)
+			r.inflight[best] = true
+			r.nInflight++
+			r.windows[best] <- w
+		} else {
+			// Degenerate window: not worth a goroutine round-trip.
+			r.runWindow(best, w)
+			r.integrate(report{shard: best, posts: r.outbox[best]})
+			r.nInflight++ // integrate undoes this; keep the count exact
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package pdes
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pcmap/internal/sim"
+)
+
+// The tests drive a synthetic machine shaped exactly like the real
+// simulator's shard boundary: front-end events submit work to shards
+// under the cross fence, shards run private completion chains (some
+// events internal, the last one posting back), and the front-end
+// handler may submit follow-up work. Run sequentially (one engine,
+// posts executed inline) and sharded (Runtime), the observable log
+// must be bit-identical.
+
+type entry struct {
+	at  sim.Time
+	seq uint64
+	id  int
+}
+
+type synthShard struct {
+	eng *sim.Engine
+	// pending mirrors the controllers' notePost bookkeeping: simulated
+	// times of completion-chain events that will post.
+	pending []sim.Time
+	work    uint64 // shard-local state mutated by chain events
+}
+
+func (s *synthShard) horizon(next sim.Time) sim.Time {
+	h := sim.Time(1<<62 - 1)
+	for _, t := range s.pending {
+		if t < h {
+			h = t
+		}
+	}
+	if next < h {
+		h = next
+	}
+	return h
+}
+
+type synthMachine struct {
+	fe     *sim.Engine
+	shards []*synthShard
+	rt     *Runtime // nil = sequential reference
+	rng    *sim.RNG
+	log    []entry
+	left   int
+
+	submitHook func(id int, at, d1, d2 sim.Time)
+	finishHook func(id int, at sim.Time)
+}
+
+// postBack routes a completion to the front end: through the runtime
+// in sharded mode, inline in the sequential reference — the same
+// split core's post helpers make on rt == nil.
+func (m *synthMachine) postBack(s int, fn func()) {
+	sh := m.shards[s]
+	if m.rt == nil {
+		fn()
+		return
+	}
+	m.rt.PostFE(s, sh.eng.Now(), sh.eng.CurSeq(), sh.eng.Seq(), fn)
+}
+
+// submit crosses the front-end/shard boundary under the fence and
+// schedules a two-hop completion chain on the shard: an internal event
+// at +d1 (touches shard state only), then the posting completion at
+// +d1+d2. The post times are noted up front, mirroring notePost.
+func (m *synthMachine) submit(id int, quantum sim.Time) {
+	s := id % len(m.shards)
+	sh := m.shards[s]
+	if m.rt != nil {
+		m.rt.BeginCross(s)
+	}
+	d1 := quantum.Times(1 + m.rng.Intn(40))
+	d2 := quantum.Times(1 + m.rng.Intn(40))
+	if m.submitHook != nil {
+		m.submitHook(id, m.fe.Now(), d1, d2)
+	}
+	t1 := sh.eng.Now() + d1
+	done := t1 + d2
+	sh.pending = append(sh.pending, done)
+	sh.eng.At(t1, func() {
+		sh.work += uint64(id)*2654435761 + uint64(sh.eng.Now().Ticks())
+		sh.eng.At(done, func() {
+			for i, t := range sh.pending {
+				if t == done {
+					sh.pending[i] = sh.pending[len(sh.pending)-1]
+					sh.pending = sh.pending[:len(sh.pending)-1]
+					break
+				}
+			}
+			sh.work ^= uint64(id)
+			m.postBack(s, func() { m.finish(id, quantum) })
+		})
+	})
+	if m.rt != nil {
+		m.rt.EndCross(s)
+	}
+}
+
+// finish runs in front-end context: it logs the completion under the
+// engine's live clock and counter, and fans out follow-up submissions
+// so cross-shard causality chains through several generations.
+func (m *synthMachine) finish(id int, quantum sim.Time) {
+	if m.finishHook != nil {
+		m.finishHook(id, m.fe.Now())
+	}
+	m.log = append(m.log, entry{at: m.fe.Now(), seq: m.fe.AllocSeq(), id: id})
+	m.left--
+	if m.left > 0 && id%3 != 2 {
+		next := id + 1000
+		m.fe.Schedule(quantum.Times(m.rng.Intn(5)), func() {
+			m.submit(next, quantum)
+		})
+	}
+}
+
+// buildSynth wires a machine with n initial submissions across parts
+// partitions. sequential builds the reference: the same partitioning
+// of state, but every partition lives on the one front-end engine and
+// posts collapse to inline calls (no runtime).
+func buildSynth(n, parts int, sequential bool, quantum sim.Time, seed uint64) *synthMachine {
+	fe := sim.NewEngine()
+	m := &synthMachine{fe: fe, rng: sim.NewRNG(seed), left: n + n} // initial + follow-ups upper bound
+	var rshards []*Shard
+	for i := 0; i < parts; i++ {
+		sh := &synthShard{eng: fe}
+		if !sequential {
+			sh.eng = sim.NewEngine()
+			rshards = append(rshards, &Shard{Eng: sh.eng, Horizon: sh.horizon})
+		}
+		m.shards = append(m.shards, sh)
+	}
+	if !sequential {
+		m.rt = New(fe, rshards)
+	}
+	for i := 0; i < n; i++ {
+		id := i
+		fe.Schedule(quantum.Times(m.rng.Intn(50)), func() {
+			m.submit(id, quantum)
+		})
+	}
+	return m
+}
+
+func (m *synthMachine) run(t *testing.T) {
+	t.Helper()
+	if m.rt == nil {
+		m.fe.Run()
+		return
+	}
+	if err := m.rt.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// fingerprint captures everything observable about a run: the
+// completion order, each completion's id and simulated time, and the
+// shards' accumulated state. Raw sequence values are deliberately
+// excluded — the sharded allocator hands out block-strided numbers, so
+// only their relative order (the log order itself) is contractual.
+func (m *synthMachine) fingerprint() string {
+	s := fmt.Sprintf("log=%d", len(m.log))
+	for _, e := range m.log {
+		s += fmt.Sprintf(";%d@%d", e.id, e.at)
+	}
+	for i, sh := range m.shards {
+		s += fmt.Sprintf(";w%d=%d", i, sh.work)
+	}
+	return s
+}
+
+// TestShardedMatchesSequential is the package's core claim: the same
+// scripted workload produces an identical completion log — ids, times,
+// and sequence numbers — whether it runs on one engine or sharded
+// across private engines merged by the runtime.
+func TestShardedMatchesSequential(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 0xdead} {
+		for _, shards := range []int{1, 2, 4} {
+			ref := buildSynth(60, shards, true, sim.MemCycle, seed)
+			ref.run(t)
+			m := buildSynth(60, shards, false, sim.MemCycle, seed)
+			m.run(t)
+			if got, want := m.fingerprint(), ref.fingerprint(); got != want {
+				t.Fatalf("seed %d shards %d diverged:\n got %.200s\nwant %.200s", seed, shards, got, want)
+			}
+			if m.rt.Posts() == 0 {
+				t.Fatalf("seed %d shards %d: no cross-shard posts exercised", seed, shards)
+			}
+		}
+	}
+}
+
+// TestWindowEdgeTies uses a single-tick quantum so completion times
+// constantly collide across shards and with front-end events — every
+// window boundary is a tie broken purely by sequence numbers, the
+// hardest case for the block allocator.
+func TestWindowEdgeTies(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		ref := buildSynth(80, shards, true, 1, 42)
+		ref.run(t)
+		m := buildSynth(80, shards, false, 1, 42)
+		m.run(t)
+		if got, want := m.fingerprint(), ref.fingerprint(); got != want {
+			t.Fatalf("shards %d diverged on tie-heavy workload:\n got %.200s\nwant %.200s", shards, got, want)
+		}
+	}
+}
+
+// TestZeroLookahead drops the Horizon hook: the runtime must fall back
+// to the conservative bound (a shard may post at its very next event)
+// and still terminate with the exact sequential result.
+func TestZeroLookahead(t *testing.T) {
+	ref := buildSynth(40, 3, true, sim.MemCycle, 9)
+	ref.run(t)
+	m := buildSynth(40, 3, false, sim.MemCycle, 9)
+	for _, sh := range m.rt.shards {
+		sh.Horizon = nil
+	}
+	m.run(t)
+	if got, want := m.fingerprint(), ref.fingerprint(); got != want {
+		t.Fatalf("zero-lookahead run diverged:\n got %.200s\nwant %.200s", got, want)
+	}
+}
+
+// TestRepeatedRuns reuses one runtime across Run calls (the system
+// layer's warmup/measure split): the sequence allocator must stay
+// monotone so phase-two keys never collide with phase one's.
+func TestRepeatedRuns(t *testing.T) {
+	m := buildSynth(30, 2, false, sim.MemCycle, 3)
+	m.run(t)
+	n := len(m.log)
+	if n == 0 {
+		t.Fatal("phase one produced no completions")
+	}
+	// Phase two: inject a fresh batch on the same engines and runtime.
+	m.left = 20
+	for i := 0; i < 10; i++ {
+		id := 5000 + i
+		m.fe.Schedule(sim.MemCycle.Times(m.rng.Intn(50)), func() {
+			m.submit(id, sim.MemCycle)
+		})
+	}
+	m.run(t)
+	if len(m.log) <= n {
+		t.Fatalf("phase two produced no completions (%d then %d)", n, len(m.log))
+	}
+	last := Key{}
+	for _, e := range m.log {
+		k := Key{At: e.at, Seq: e.seq}
+		if k.Less(last) {
+			t.Fatalf("completion log not monotone across Run calls at id %d", e.id)
+		}
+		last = k
+	}
+}
+
+// TestCancellation verifies Run honors its context like the sequential
+// step loop: it returns the context error and joins every worker (the
+// race detector and goroutine-leak behavior under -race back this up).
+func TestCancellation(t *testing.T) {
+	m := buildSynth(200, 4, false, sim.MemCycle, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.rt.Run(ctx); err != context.Canceled {
+		t.Fatalf("Run on cancelled ctx = %v, want context.Canceled", err)
+	}
+	// The same runtime runs again (workers are per-Run) and finishes
+	// the workload.
+	if err := m.rt.Run(context.Background()); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+}
+
+// TestStress is the -race workhorse: many generations, several shard
+// counts, tie-heavy timing — any unsynchronized access to an outbox,
+// engine, or counter surfaces here.
+func TestStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for seed := uint64(0); seed < 6; seed++ {
+		for _, shards := range []int{2, 3, 4} {
+			m := buildSynth(120, shards, false, 3, 100+seed)
+			m.run(t)
+			ref := buildSynth(120, shards, true, 3, 100+seed)
+			ref.run(t)
+			if m.fingerprint() != ref.fingerprint() {
+				t.Fatalf("seed %d shards %d diverged under stress", seed, shards)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+
+	"pcmap/internal/config"
+	"pcmap/internal/obs"
+)
+
+// runSharded builds and runs the given variant/mix at the given shard
+// count and returns the full Results struct.
+func runSharded(t *testing.T, v config.Variant, mix string, shards int, warmup, measure uint64) *Results {
+	t.Helper()
+	cfg := config.Default().WithVariant(v)
+	s, err := New(WithConfig(cfg), WithWorkload(mix), WithShards(shards))
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	if s.Shards != shards {
+		t.Fatalf("built %d shards, asked for %d", s.Shards, shards)
+	}
+	if (shards > 1) != (s.PDES != nil) {
+		t.Fatalf("shards=%d but PDES=%v", shards, s.PDES)
+	}
+	r, err := s.Run(warmup, measure)
+	if err != nil {
+		t.Fatalf("shards=%d run: %v", shards, err)
+	}
+	return r
+}
+
+// TestShardsBitIdentical is the PR's central acceptance claim at the
+// system level: the complete Results struct — every counter, latency
+// histogram, IPC, IRLP, energy string — is identical whether the
+// machine runs on one engine or sharded across 2 or 4 goroutines. The
+// RWoWRDE variant exercises the hardest completion paths (RoW
+// reconstruction with deferred verify, write verify chains).
+func TestShardsBitIdentical(t *testing.T) {
+	for _, v := range []config.Variant{config.Baseline, config.RWoWRDE} {
+		ref := runSharded(t, v, "MP6", 1, 5_000, 40_000)
+		for _, shards := range []int{2, 4} {
+			got := runSharded(t, v, "MP6", shards, 5_000, 40_000)
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("%s shards=%d results differ from single-threaded run:\nref %+v\ngot %+v", v, shards, ref, got)
+			}
+		}
+	}
+}
+
+// TestShardsBitIdenticalMultithreaded covers the coherence-heavy path:
+// shared lines mean directory invalidations and recalls interleave with
+// memory completions on the front end.
+func TestShardsBitIdenticalMultithreaded(t *testing.T) {
+	ref := runSharded(t, config.RWoWNR, "canneal", 1, 4_000, 30_000)
+	got := runSharded(t, config.RWoWNR, "canneal", 4, 4_000, 30_000)
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("multithreaded sharded run diverged:\nref %+v\ngot %+v", ref, got)
+	}
+}
+
+// TestShardsWithFaultInjection runs the stochastic fault model sharded:
+// per-channel RNG streams are forked in construction order on both
+// paths, so injected faults (and their corrections) must land
+// identically. The budget-of-one endurance and high drift probability
+// exist to make injection dense enough to observe in a short run —
+// drift only strikes lines that were previously written.
+func TestShardsWithFaultInjection(t *testing.T) {
+	run := func(shards int) *Results {
+		cfg := config.Default().WithVariant(config.RWoWRDE)
+		s, err := New(WithConfig(cfg), WithWorkload("MP4"), WithShards(shards),
+			WithFaultModel(1, 0.5))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		r, err := s.Run(4_000, 300_000)
+		if err != nil {
+			t.Fatalf("shards=%d run: %v", shards, err)
+		}
+		return r
+	}
+	ref := run(1)
+	if ref.InjectedStuck+ref.InjectedDrift == 0 {
+		t.Fatal("fault model injected nothing; test exercises no fault paths")
+	}
+	if got := run(4); !reflect.DeepEqual(ref, got) {
+		t.Errorf("fault-injected sharded run diverged:\nref %+v\ngot %+v", ref, got)
+	}
+}
+
+// TestShardsOptionValidation pins the option's error surface.
+func TestShardsOptionValidation(t *testing.T) {
+	if _, err := New(WithShards(0)); err == nil {
+		t.Error("WithShards(0) accepted")
+	}
+	if _, err := New(WithShards(100)); err == nil {
+		t.Error("shard count beyond channel count accepted")
+	}
+	if _, err := New(WithShards(2), WithTracer(obs.New(0, 1))); err == nil {
+		t.Error("tracer with shards > 1 accepted")
+	}
+	if _, err := New(WithShards(2), WithWorkload("MP4")); err != nil {
+		t.Errorf("valid sharded build rejected: %v", err)
+	}
+}
