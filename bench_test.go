@@ -8,13 +8,16 @@ package pcmap_test
 import (
 	"testing"
 
+	"pcmap/internal/cache"
 	"pcmap/internal/config"
 	"pcmap/internal/ecc"
 	"pcmap/internal/exp"
 	"pcmap/internal/mem"
 	"pcmap/internal/obs"
+	"pcmap/internal/pcm"
 	"pcmap/internal/sim"
 	"pcmap/internal/system"
+	"pcmap/internal/workloads"
 
 	pcmcore "pcmap/internal/core"
 )
@@ -486,6 +489,63 @@ func BenchmarkRNGPick(b *testing.B) {
 		sink += rng.Pick(weights)
 	}
 	_ = sink
+}
+
+// BenchmarkCacheLoadHit measures the L1-hit load path — the single
+// most frequent operation in any simulation. The ledger pins it at 0
+// allocs/op: hits touch only the SoA state arrays, never the fetch or
+// request pools.
+func BenchmarkCacheLoadHit(b *testing.B) {
+	cfg := config.Default().WithVariant(config.RWoWRDE)
+	eng := sim.NewEngine()
+	m, err := pcmcore.NewMemory(eng, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := cache.NewHierarchy(eng, cfg, m)
+	const addr = 0x880000
+	h.Load(0, addr, false, 0)
+	eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(0, addr, false, uint64(i+1))
+	}
+}
+
+// BenchmarkStoreGetWarm measures pcm.Store line access once the line's
+// 4 KB block is materialized — the steady state of every write-back
+// after the footprint is touched. Pinned at 0 allocs/op: the two-level
+// page table allocates per block, not per line.
+func BenchmarkStoreGetWarm(b *testing.B) {
+	s := pcm.NewStore()
+	const lines = 1 << 12
+	for i := uint64(0); i < lines; i++ {
+		s.Get(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(uint64(i) & (lines - 1))
+	}
+}
+
+// BenchmarkGeneratorNext measures steady-state op generation including
+// the per-line write-pattern memo. Warm (footprint's patterns sampled)
+// it must not allocate: the memo map is clear()ed at its cap, never
+// reallocated.
+func BenchmarkGeneratorNext(b *testing.B) {
+	p := workloads.MustByName("canneal")
+	g := workloads.NewGenerator(p, 0, sim.NewRNG(17), nil)
+	var op workloads.Op
+	for i := 0; i < 200_000; i++ {
+		g.Next(&op)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&op)
+	}
 }
 
 // BenchmarkControllerRequests measures end-to-end requests/second

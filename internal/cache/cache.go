@@ -10,22 +10,10 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"pcmap/internal/config"
 )
-
-// entry is one cache line's bookkeeping (tags only; functional data
-// lives at the PCM store, see DESIGN.md).
-type entry struct {
-	tag   uint64
-	lru   uint32
-	valid bool
-	dirty bool
-	// essMask marks the 8B words whose values actually changed (the
-	// "essential" words); dirty can be set with essMask == 0 — that is
-	// a silent store, Figure 2's 0-word bucket.
-	essMask uint8
-}
 
 // Victim describes a line evicted by an insertion.
 type Victim struct {
@@ -34,33 +22,135 @@ type Victim struct {
 	EssMask uint8
 }
 
-// Cache is a set-associative, true-LRU cache. Sets are allocated
-// lazily so a 256 MB LLC costs memory proportional to its touched
-// footprint.
+// Cache is a set-associative, true-LRU cache. State is struct-of-arrays
+// over set×way slots: four flat byte-scale arrays instead of a slice of
+// per-set entry slices. The LLC's 4.2M slots cost ~30 MB this way
+// (versus ~76 MB of pointer-chased entry slices before), the arrays
+// come from a geometry-keyed slab pool (Release returns them), and the
+// hot Insert/Lookup paths never allocate.
+//
+// LRU is kept as an explicit per-set recency list instead of per-entry
+// clock stamps: order[set*ways+i] holds the way id at recency position
+// i, position 0 being least recently used. Every touch moves a way to
+// the back of its set's list, which reproduces exactly the ordering a
+// global monotonic touch clock induces (each touch gets a unique
+// stamp, so min-stamp == front of the list). Invalidate clears only
+// the valid bit and leaves the slot's position, dirty bit, and mask in
+// place — matching the previous representation, where an invalidated
+// entry kept competing for eviction with its stale stamp.
 type Cache struct {
 	name      string
-	sets      [][]entry
+	tags      []uint32 // per slot: line >> (lineShift+setBits)
+	meta      []uint8  // per slot: metaValid | metaDirty
+	ess       []uint8  // per slot: essential-word mask
+	order     []uint8  // per set: way ids in recency order, LRU first
+	fill      []uint8  // per set: slots filled so far (append order)
 	ways      int
+	numSets   int
 	lineBytes int
 	lineShift uint
+	setShift  uint // log2(number of sets)
 	setMask   uint64
-	clock     uint32
 
 	Hits, Misses, Evictions, Writebacks uint64
 }
 
+const (
+	metaValid = 1 << 0
+	metaDirty = 1 << 1
+)
+
+// slab is one cache's worth of state arrays, recyclable across
+// simulations of the same geometry.
+type slab struct {
+	tags  []uint32
+	meta  []uint8
+	ess   []uint8
+	order []uint8
+	fill  []uint8
+}
+
+type slabKey struct{ sets, ways int }
+
+// slabPool recycles state arrays between systems (the experiment
+// runner tears a machine down after every run and immediately builds
+// the next). Guarded by a mutex because sweeps construct systems from
+// a worker pool. Bounded per geometry so a wide parallel sweep cannot
+// pin an unbounded number of retired LLCs.
+var (
+	slabMu   sync.Mutex
+	slabPool = map[slabKey][]*slab{}
+)
+
+const slabPoolCap = 16
+
+// acquireSlab returns zeroed-for-reuse state arrays for the geometry,
+// recycling a released slab when one is available. Only fill must be
+// cleared: every other array is written before first read (meta, ess,
+// tags, and order are all set when a slot is filled, and scans are
+// bounded by fill), so reuse is deterministic.
+func acquireSlab(sets, ways int) *slab {
+	key := slabKey{sets, ways}
+	slabMu.Lock()
+	if free := slabPool[key]; len(free) > 0 {
+		s := free[len(free)-1]
+		slabPool[key] = free[:len(free)-1]
+		slabMu.Unlock()
+		clear(s.fill)
+		return s
+	}
+	slabMu.Unlock()
+	slots := sets * ways
+	return &slab{
+		tags:  make([]uint32, slots),
+		meta:  make([]uint8, slots),
+		ess:   make([]uint8, slots),
+		order: make([]uint8, slots),
+		fill:  make([]uint8, sets),
+	}
+}
+
+func releaseSlab(s *slab, sets, ways int) {
+	key := slabKey{sets, ways}
+	slabMu.Lock()
+	if len(slabPool[key]) < slabPoolCap {
+		slabPool[key] = append(slabPool[key], s)
+	}
+	slabMu.Unlock()
+}
+
 // New builds a cache from its configured geometry.
 func New(name string, lvl config.CacheLevel) *Cache {
-	numSets := lvl.SizeBytes / int64(lvl.Ways*lvl.LineBytes)
-	c := &Cache{
+	numSets := int(lvl.SizeBytes / int64(lvl.Ways*lvl.LineBytes))
+	if lvl.Ways < 1 || lvl.Ways > 255 {
+		panic(fmt.Sprintf("cache: %s: %d ways out of range (order list stores way ids as bytes)", name, lvl.Ways))
+	}
+	s := acquireSlab(numSets, lvl.Ways)
+	return &Cache{
 		name:      name,
-		sets:      make([][]entry, numSets),
+		tags:      s.tags,
+		meta:      s.meta,
+		ess:       s.ess,
+		order:     s.order,
+		fill:      s.fill,
 		ways:      lvl.Ways,
+		numSets:   numSets,
 		lineBytes: lvl.LineBytes,
 		lineShift: uint(bits.TrailingZeros(uint(lvl.LineBytes))),
+		setShift:  uint(bits.TrailingZeros64(uint64(numSets))),
 		setMask:   uint64(numSets - 1),
 	}
-	return c
+}
+
+// Release returns the cache's state arrays to the slab pool. The cache
+// must not be used afterwards.
+func (c *Cache) Release() {
+	if c.tags == nil {
+		return
+	}
+	releaseSlab(&slab{tags: c.tags, meta: c.meta, ess: c.ess, order: c.order, fill: c.fill},
+		c.numSets, c.ways)
+	c.tags, c.meta, c.ess, c.order, c.fill = nil, nil, nil, nil, nil
 }
 
 // LineBytes returns the cache's line size.
@@ -69,116 +159,141 @@ func (c *Cache) LineBytes() int { return c.lineBytes }
 // Align returns addr rounded down to this cache's line size.
 func (c *Cache) Align(addr uint64) uint64 { return addr &^ uint64(c.lineBytes-1) }
 
-func (c *Cache) locate(addr uint64) (set []entry, tag uint64, idx uint64) {
+// locate splits addr into the set's slot base and the stored tag.
+func (c *Cache) locate(addr uint64) (base int, tag uint32, idx uint64) {
 	line := addr >> c.lineShift
 	idx = line & c.setMask
-	tag = line >> bits.TrailingZeros64(c.setMask+1)
-	return c.sets[idx], tag, idx
+	t := line >> c.setShift
+	if t > 0xffffffff {
+		panic(fmt.Sprintf("cache: %s: address %#x tag overflows 32 bits", c.name, addr))
+	}
+	return int(idx) * c.ways, uint32(t), idx
 }
 
-func (c *Cache) find(addr uint64) *entry {
-	set, tag, _ := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			return &set[i]
+// find scans addr's set for a valid matching slot, returning the way
+// index or -1. Scan order is fill (append) order, like the previous
+// entry-slice scan.
+func (c *Cache) find(addr uint64) (base, way int, tag uint32, idx uint64) {
+	base, tag, idx = c.locate(addr)
+	n := int(c.fill[idx])
+	for w := 0; w < n; w++ {
+		if c.meta[base+w]&metaValid != 0 && c.tags[base+w] == tag {
+			return base, w, tag, idx
 		}
 	}
-	return nil
+	return base, -1, tag, idx
+}
+
+// touch moves way to the most-recently-used end of its set's recency
+// list.
+func (c *Cache) touch(idx uint64, base, way int) {
+	n := int(c.fill[idx])
+	ord := c.order[base : base+n]
+	w := uint8(way)
+	p := 0
+	for ord[p] != w {
+		p++
+	}
+	copy(ord[p:], ord[p+1:])
+	ord[n-1] = w
 }
 
 // Lookup probes for addr's line, updating LRU on hit.
 func (c *Cache) Lookup(addr uint64) bool {
-	e := c.find(addr)
-	if e == nil {
+	base, way, _, idx := c.find(addr)
+	if way < 0 {
 		c.Misses++
 		return false
 	}
-	c.clock++
-	e.lru = c.clock
+	c.touch(idx, base, way)
 	c.Hits++
 	return true
 }
 
 // Present probes without touching LRU or hit/miss counters.
-func (c *Cache) Present(addr uint64) bool { return c.find(addr) != nil }
+func (c *Cache) Present(addr uint64) bool {
+	_, way, _, _ := c.find(addr)
+	return way >= 0
+}
 
 // Insert fills addr's line, returning the evicted victim, if any. The
 // line starts clean. Inserting an already-present line refreshes it.
 func (c *Cache) Insert(addr uint64) (Victim, bool) {
-	if e := c.find(addr); e != nil {
-		c.clock++
-		e.lru = c.clock
+	base, way, tag, idx := c.find(addr)
+	if way >= 0 {
+		c.touch(idx, base, way)
 		return Victim{}, false
 	}
-	set, tag, idx := c.locate(addr)
-	if set == nil {
-		set = make([]entry, 0, c.ways)
-		c.sets[idx] = set
-	}
-	c.clock++
-	if len(set) < c.ways {
-		c.sets[idx] = append(set, entry{tag: tag, valid: true, lru: c.clock})
+	if n := c.fill[idx]; int(n) < c.ways {
+		// Free slot: fill in append order (invalid slots are not
+		// reclaimed early — they age out through LRU, as before).
+		w := int(n)
+		c.tags[base+w] = tag
+		c.meta[base+w] = metaValid
+		c.ess[base+w] = 0
+		c.order[base+w] = n
+		c.fill[idx] = n + 1
 		return Victim{}, false
 	}
-	// Evict the true-LRU way.
-	vi := 0
-	for i := 1; i < len(set); i++ {
-		if set[i].lru < set[vi].lru {
-			vi = i
-		}
-	}
+	// Evict the true-LRU way: the front of the recency list.
+	vi := int(c.order[base])
 	v := Victim{
-		Addr:    c.addrOf(set[vi].tag, idx),
-		Dirty:   set[vi].dirty,
-		EssMask: set[vi].essMask,
+		Addr:    c.addrOf(uint64(c.tags[base+vi]), idx),
+		Dirty:   c.meta[base+vi]&metaDirty != 0,
+		EssMask: c.ess[base+vi],
 	}
 	c.Evictions++
 	if v.Dirty {
 		c.Writebacks++
 	}
-	set[vi] = entry{tag: tag, valid: true, lru: c.clock}
+	c.tags[base+vi] = tag
+	c.meta[base+vi] = metaValid
+	c.ess[base+vi] = 0
+	c.touch(idx, base, vi)
 	return v, true
 }
 
 func (c *Cache) addrOf(tag, idx uint64) uint64 {
-	return (tag<<bits.TrailingZeros64(c.setMask+1) | idx) << c.lineShift
+	return (tag<<c.setShift | idx) << c.lineShift
 }
 
 // MarkDirty records a write to addr's line: the line becomes dirty and
 // essMask accumulates the changed words. It reports whether the line
 // was present.
 func (c *Cache) MarkDirty(addr uint64, essMask uint8) bool {
-	e := c.find(addr)
-	if e == nil {
+	base, way, _, idx := c.find(addr)
+	if way < 0 {
 		return false
 	}
-	c.clock++
-	e.lru = c.clock
-	e.dirty = true
-	e.essMask |= essMask
+	c.touch(idx, base, way)
+	c.meta[base+way] |= metaDirty
+	c.ess[base+way] |= essMask
 	return true
 }
 
 // DirtyInfo returns the line's dirty state and essential mask.
 func (c *Cache) DirtyInfo(addr uint64) (present, dirty bool, essMask uint8) {
-	e := c.find(addr)
-	if e == nil {
+	base, way, _, _ := c.find(addr)
+	if way < 0 {
 		return false, false, 0
 	}
-	return true, e.dirty, e.essMask
+	return true, c.meta[base+way]&metaDirty != 0, c.ess[base+way]
 }
 
 // Invalidate drops addr's line, returning its dirty state for the
-// caller to write back.
+// caller to write back. Only the valid bit is cleared: the slot keeps
+// its recency position, tag, dirty bit, and mask until LRU replaces it
+// (the historical semantics; L1s — the only level invalidated — are
+// write-through and never dirty, so the stale state is inert).
 func (c *Cache) Invalidate(addr uint64) (wasPresent, wasDirty bool, essMask uint8) {
-	set, tag, _ := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			wasPresent, wasDirty, essMask = true, set[i].dirty, set[i].essMask
-			set[i].valid = false
-			return
-		}
+	base, way, _, _ := c.find(addr)
+	if way < 0 {
+		return
 	}
+	wasPresent = true
+	wasDirty = c.meta[base+way]&metaDirty != 0
+	essMask = c.ess[base+way]
+	c.meta[base+way] &^= metaValid
 	return
 }
 
@@ -192,5 +307,5 @@ func (c *Cache) MissRatio() float64 {
 }
 
 func (c *Cache) String() string {
-	return fmt.Sprintf("%s(%d sets x %d ways x %dB)", c.name, len(c.sets), c.ways, c.lineBytes)
+	return fmt.Sprintf("%s(%d sets x %d ways x %dB)", c.name, c.numSets, c.ways, c.lineBytes)
 }

@@ -148,19 +148,60 @@ func TestMissRatio(t *testing.T) {
 	}
 }
 
-func TestLargeCacheLazyAllocation(t *testing.T) {
-	// The 256MB LLC must not allocate all its sets up front.
-	c := New("llc", config.Default().DRAMLLC)
-	for i := uint64(0); i < 1000; i++ {
-		c.Insert(i * 64)
+func TestLargeCacheFootprintBounded(t *testing.T) {
+	// The 256MB LLC's SoA state must cost a small fixed fraction of
+	// the cached capacity: 7 bytes per way slot plus 1 per set
+	// (tags 4 + meta 1 + ess 1 + order 1, fill 1/set) — ~30 MB for
+	// 4.2M slots, versus the 256 MB it indexes.
+	lvl := config.Default().DRAMLLC
+	sets := int(lvl.SizeBytes / int64(lvl.Ways*lvl.LineBytes))
+	slots := sets * lvl.Ways
+	c := New("llc", lvl)
+	defer c.Release()
+	got := len(c.tags)*4 + len(c.meta) + len(c.ess) + len(c.order) + len(c.fill)
+	want := slots*7 + sets
+	if got != want {
+		t.Fatalf("SoA footprint %d bytes, want exactly %d", got, want)
 	}
-	allocated := 0
-	for _, s := range c.sets {
-		if s != nil {
-			allocated++
-		}
+	if int64(got) > lvl.SizeBytes/8 {
+		t.Fatalf("SoA state %d bytes exceeds 1/8 of the %d bytes cached", got, lvl.SizeBytes)
 	}
-	if allocated > 1000 {
-		t.Fatalf("%d sets allocated for 1000 lines", allocated)
+}
+
+func TestReleaseRecyclesSlabs(t *testing.T) {
+	lvl := config.CacheLevel{SizeBytes: 1 << 20, Ways: 4, LineBytes: 64}
+	a := New("a", lvl)
+	a.Insert(0x40)
+	a.MarkDirty(0x40, 0xff)
+	tags := &a.tags[0]
+	a.Release()
+	if a.tags != nil {
+		t.Fatal("Release must detach the arrays")
+	}
+	b := New("b", lvl)
+	defer b.Release()
+	if &b.tags[0] != tags {
+		t.Fatal("same-geometry New after Release must reuse the slab")
+	}
+	// The recycled cache must be indistinguishable from a fresh one.
+	if b.Present(0x40) {
+		t.Fatal("recycled slab leaked residency")
+	}
+	if _, dirty, mask := b.DirtyInfo(0x40); dirty || mask != 0 {
+		t.Fatal("recycled slab leaked dirty state")
+	}
+}
+
+func TestInsertLookupAllocFree(t *testing.T) {
+	c := New("a", config.CacheLevel{SizeBytes: 1 << 20, Ways: 8, LineBytes: 64})
+	defer c.Release()
+	var addr uint64
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Insert(addr)
+		c.Lookup(addr)
+		c.MarkDirty(addr, 1)
+		addr += 64
+	}); n != 0 {
+		t.Fatalf("Insert/Lookup/MarkDirty allocated %.1f/op, want 0", n)
 	}
 }

@@ -49,16 +49,137 @@ func (r Result) String() string {
 	}
 }
 
+// fillWaiter names one coalesced load to notify at fill time: the
+// issuing core's fill handler receives the load's sequence number.
+// A plain value pair instead of a captured closure keeps the miss
+// path allocation-free.
+type fillWaiter struct {
+	core int
+	seq  uint64
+}
+
 // fetch is one outstanding below-L2 miss; concurrent requests to the
-// same line coalesce onto it (the MSHR function).
+// same line coalesce onto it (the MSHR function). Fetches live on a
+// per-hierarchy free list: the embedded memory request and the
+// callbacks bound to it are built once per pooled object and recycled
+// when the fetch completes (after the deferred RoW verification when
+// the read was served by reconstruction — the verify fan-out reads
+// f.cores).
 type fetch struct {
+	h         *Hierarchy
 	addr      uint64
-	waiters   []func()
+	waiters   []fillWaiter
 	cores     []int // cores that coalesced (for verify fan-out)
 	store     bool  // triggered by a store: dirty the line at fill time
 	storeMask uint8 // changed words to apply to L2 once the fill lands
 	bypass    bool  // streaming access: do not pollute the DRAM cache
 	core      int
+	req       mem.Request
+	trySubmit func()
+	next      *fetch // free-list link
+}
+
+// fetchDone is the fetch's pre-bound OnDone: land the fill, then
+// recycle — unless the read was served by RoW reconstruction, in which
+// case the deferred verification (OnVerify) still needs f.cores and
+// performs the recycle itself.
+func (f *fetch) fetchDone() {
+	h := f.h
+	h.finishFetch(f)
+	if !f.req.Reconstructed {
+		h.recycleFetch(f)
+	}
+}
+
+// fetchVerified is the fetch's pre-bound OnVerify: fan the outcome out
+// to every coalesced core, then recycle. The controller invokes
+// OnVerify exactly once, only for reconstructed reads, and always
+// after OnDone.
+func (f *fetch) fetchVerified(rq *mem.Request, faulty bool) {
+	h := f.h
+	for _, c := range f.cores {
+		if fn := h.verifyHandlers[c]; fn != nil {
+			fn(faulty, rq.Done)
+		}
+	}
+	h.recycleFetch(f)
+}
+
+// newFetch pops a recycled fetch or builds a fresh one with its
+// callbacks pre-bound.
+func (h *Hierarchy) newFetch() *fetch {
+	f := h.fetchFree
+	if f == nil {
+		f = &fetch{h: h}
+		f.req.OnDone = func(*mem.Request) { f.fetchDone() }
+		f.req.OnVerify = func(rq *mem.Request, faulty bool) { f.fetchVerified(rq, faulty) }
+		f.trySubmit = func() {
+			if !f.h.Mem.Submit(&f.req) {
+				f.h.Mem.OnSpace(mem.Read, f.req.Addr, f.trySubmit)
+			}
+		}
+		return f
+	}
+	h.fetchFree = f.next
+	f.next = nil
+	return f
+}
+
+// recycleFetch clears the fetch (keeping slice capacity and the
+// pre-bound callbacks) and pushes it on the free list.
+func (h *Hierarchy) recycleFetch(f *fetch) {
+	f.addr, f.core = 0, 0
+	f.waiters = f.waiters[:0]
+	f.cores = f.cores[:0]
+	f.store, f.bypass = false, false
+	f.storeMask = 0
+	r := &f.req
+	r.Mask, r.Data = 0, nil
+	r.Arrive, r.Issue, r.Done = 0, 0, 0
+	r.Started, r.Reconstructed, r.DelayedByWrite = false, false, false
+	r.Err = nil
+	f.next = h.fetchFree
+	h.fetchFree = f
+}
+
+// wbReq is one pooled write-back request with its retry callback
+// pre-bound (back-pressure re-submission), recycled when the write
+// completes.
+type wbReq struct {
+	h     *Hierarchy
+	req   mem.Request
+	retry func()
+	next  *wbReq
+}
+
+func (h *Hierarchy) newWB() *wbReq {
+	w := h.wbFree
+	if w == nil {
+		w = &wbReq{h: h}
+		w.req.OnDone = func(*mem.Request) { w.h.recycleWB(w) }
+		w.retry = func() {
+			if w.h.Mem.Submit(&w.req) {
+				w.h.wbBacklog--
+				w.h.notifyUnstall()
+				return
+			}
+			w.h.Mem.OnSpace(mem.Write, w.req.Addr, w.retry)
+		}
+		return w
+	}
+	h.wbFree = w.next
+	w.next = nil
+	return w
+}
+
+func (h *Hierarchy) recycleWB(w *wbReq) {
+	r := &w.req
+	r.Mask, r.Data = 0, nil
+	r.Arrive, r.Issue, r.Done = 0, 0, 0
+	r.Started, r.Reconstructed, r.DelayedByWrite = false, false, false
+	r.Err = nil
+	w.next = h.wbFree
+	h.wbFree = w
 }
 
 // Hierarchy wires the cache levels, the MOESI directory, the NoC and
@@ -83,10 +204,18 @@ type Hierarchy struct {
 	wbCap      int
 	unstall    []func()
 
+	// Free lists for the per-miss and per-writeback request objects.
+	fetchFree *fetch
+	wbFree    *wbReq
+
 	// verifyHandlers receive RoW verification outcomes per core (with
 	// the load's completion time): the CPU model decides whether a
 	// faulty outcome forces a rollback.
 	verifyHandlers []func(faulty bool, loadDone sim.Time)
+
+	// fillHandlers receive PCM fill completions per core: the sequence
+	// number a core passed to Load comes back when the miss lands.
+	fillHandlers []func(seq uint64)
 
 	// Statistics.
 	Loads, Stores            uint64
@@ -100,6 +229,12 @@ type Hierarchy struct {
 
 // NewHierarchy builds the hierarchy for cfg on top of memory.
 func NewHierarchy(eng *sim.Engine, cfg *config.Config, memory *core.Memory) *Hierarchy {
+	banks := cfg.DRAMLLC.Banks
+	if banks == 0 {
+		// Zero-value configs (hand-built in tests) get the historical
+		// default; Validate enforces a power of two ≥ 1 otherwise.
+		banks = 8
+	}
 	h := &Hierarchy{
 		cfg:         cfg,
 		eng:         eng,
@@ -108,8 +243,8 @@ func NewHierarchy(eng *sim.Engine, cfg *config.Config, memory *core.Memory) *Hie
 		Dir:         coherence.NewDirectory(),
 		L2:          New("L2", cfg.L2),
 		LLC:         New("LLC", cfg.DRAMLLC),
-		llcBanks:    8,
-		llcBankBusy: make([]sim.Time, 8),
+		llcBanks:    banks,
+		llcBankBusy: make([]sim.Time, banks),
 		pending:     make(map[uint64]*fetch),
 		pendingCap:  cfg.L2.MSHRs,
 		wbCap:       4 * cfg.Memory.Channels,
@@ -118,7 +253,27 @@ func NewHierarchy(eng *sim.Engine, cfg *config.Config, memory *core.Memory) *Hie
 		h.L1 = append(h.L1, New("L1D", cfg.L1D))
 	}
 	h.verifyHandlers = make([]func(bool, sim.Time), cfg.Cores)
+	h.fillHandlers = make([]func(uint64), cfg.Cores)
 	return h
+}
+
+// Release returns the cache levels' state arrays to the slab pool. The
+// hierarchy must not be used afterwards. Experiment harnesses call it
+// between runs so back-to-back systems of the same geometry reuse one
+// LLC's worth of arrays instead of growing the heap per run.
+func (h *Hierarchy) Release() {
+	for _, l1 := range h.L1 {
+		l1.Release()
+	}
+	h.L2.Release()
+	h.LLC.Release()
+}
+
+// SetFillHandler registers the callback invoked when a PCM fill this
+// core requested (via Load) lands, carrying the sequence number the
+// core passed. One registration per core replaces a per-miss closure.
+func (h *Hierarchy) SetFillHandler(corID int, fn func(seq uint64)) {
+	h.fillHandlers[corID] = fn
 }
 
 // SetVerifyHandler registers the callback invoked when a RoW-served
@@ -244,32 +399,28 @@ func (h *Hierarchy) fillLLC(addr uint64) {
 }
 
 // submitWriteback sends a dirty line's essential words to PCM,
-// buffering while the channel's write queue is full.
+// buffering while the channel's write queue is full. Requests come
+// from the write-back pool; the pre-bound OnDone recycles them at
+// completion (every accepted write completes exactly once — the
+// controller never merges queued writes).
 func (h *Hierarchy) submitWriteback(addr uint64, essMask uint8) {
 	h.WBToPCM++
-	req := &mem.Request{Kind: mem.Write, Addr: addr, Mask: essMask, Core: -1}
-	if h.Mem.Submit(req) {
+	w := h.newWB()
+	w.req.Kind, w.req.Addr, w.req.Mask, w.req.Core = mem.Write, addr, essMask, -1
+	if h.Mem.Submit(&w.req) {
 		return
 	}
 	h.wbBacklog++
-	var retry func()
-	retry = func() {
-		if h.Mem.Submit(req) {
-			h.wbBacklog--
-			h.notifyUnstall()
-			return
-		}
-		h.Mem.OnSpace(mem.Write, addr, retry)
-	}
-	h.Mem.OnSpace(mem.Write, addr, retry)
+	h.Mem.OnSpace(mem.Write, addr, w.retry)
 }
 
 // Load performs a demand load. For HitL1/HitL2/HitLLC the returned
-// latency is the access time and onDone is NOT called. For
-// GoesToMemory, onDone runs when the PCM fill completes. For Stalled,
-// nothing was done; retry after OnUnstall. Non-temporal (streaming)
-// loads fill L1/L2 but bypass the DRAM cache.
-func (h *Hierarchy) Load(corID int, addr uint64, nonTemporal bool, onDone func()) (Result, sim.Time) {
+// latency is the access time and no fill notification happens. For
+// GoesToMemory, the core's registered fill handler (SetFillHandler)
+// runs with seq when the PCM fill completes. For Stalled, nothing was
+// done; retry after OnUnstall. Non-temporal (streaming) loads fill
+// L1/L2 but bypass the DRAM cache.
+func (h *Hierarchy) Load(corID int, addr uint64, nonTemporal bool, seq uint64) (Result, sim.Time) {
 	h.Loads++
 	if h.L1[corID].Lookup(addr) {
 		h.L1Hits++
@@ -295,7 +446,7 @@ func (h *Hierarchy) Load(corID int, addr uint64, nonTemporal bool, onDone func()
 		h.fillL1(corID, addr)
 		return HitLLC, lat + fwd
 	}
-	return h.startFetch(corID, addr, false, 0, nonTemporal, onDone)
+	return h.startFetch(corID, addr, false, 0, nonTemporal, seq, true)
 }
 
 // Store performs a store: write-through past L1, write-allocate at L2.
@@ -335,7 +486,7 @@ func (h *Hierarchy) Store(corID int, addr uint64, essMask uint8, nonTemporal boo
 		h.L2.MarkDirty(l, essMask)
 		return HitLLC
 	}
-	res, _ := h.startFetch(corID, addr, true, essMask, false, nil)
+	res, _ := h.startFetch(corID, addr, true, essMask, false, 0, false)
 	return res
 }
 
@@ -356,16 +507,18 @@ func (h *Hierarchy) invalidateForStore(corID int, addr uint64, mask uint16) {
 	}
 }
 
-// startFetch begins (or joins) a below-LLC miss.
-func (h *Hierarchy) startFetch(corID int, addr uint64, store bool, storeMask uint8, bypass bool, onDone func()) (Result, sim.Time) {
+// startFetch begins (or joins) a below-LLC miss. wantFill records the
+// caller (a load) for a fill notification; store-initiated fetches
+// pass false.
+func (h *Hierarchy) startFetch(corID int, addr uint64, store bool, storeMask uint8, bypass bool, seq uint64, wantFill bool) (Result, sim.Time) {
 	l := line64(addr)
 	if f, ok := h.pending[l]; ok {
 		h.CoalescedMisses++
 		f.store = f.store || store
 		f.storeMask |= storeMask
 		f.cores = append(f.cores, corID)
-		if onDone != nil {
-			f.waiters = append(f.waiters, onDone)
+		if wantFill {
+			f.waiters = append(f.waiters, fillWaiter{core: corID, seq: seq})
 		}
 		return GoesToMemory, 0
 	}
@@ -373,35 +526,20 @@ func (h *Hierarchy) startFetch(corID int, addr uint64, store bool, storeMask uin
 		h.StallEvents++
 		return Stalled, 0
 	}
-	f := &fetch{addr: l, store: store, storeMask: storeMask, bypass: bypass, core: corID, cores: []int{corID}}
-	if onDone != nil {
-		f.waiters = append(f.waiters, onDone)
+	f := h.newFetch()
+	f.addr = l
+	f.store, f.storeMask, f.bypass, f.core = store, storeMask, bypass, corID
+	f.cores = append(f.cores, corID)
+	if wantFill {
+		f.waiters = append(f.waiters, fillWaiter{core: corID, seq: seq})
 	}
 	h.pending[l] = f
 	h.MemFetches++
 	if storeMask != 0 {
 		h.StoreFetches++
 	}
-	req := &mem.Request{
-		Kind:   mem.Read,
-		Addr:   l,
-		Core:   corID,
-		OnDone: func(*mem.Request) { h.finishFetch(f) },
-		OnVerify: func(rq *mem.Request, faulty bool) {
-			for _, c := range f.cores {
-				if fn := h.verifyHandlers[c]; fn != nil {
-					fn(faulty, rq.Done)
-				}
-			}
-		},
-	}
-	var trySubmit func()
-	trySubmit = func() {
-		if !h.Mem.Submit(req) {
-			h.Mem.OnSpace(mem.Read, l, trySubmit)
-		}
-	}
-	trySubmit()
+	f.req.Kind, f.req.Addr, f.req.Core = mem.Read, l, corID
+	f.trySubmit()
 	return GoesToMemory, 0
 }
 
@@ -417,8 +555,10 @@ func (h *Hierarchy) finishFetch(f *fetch) {
 		h.L2.MarkDirty(f.addr, f.storeMask)
 	}
 	h.fillL1(f.core, f.addr)
-	for _, fn := range f.waiters {
-		fn()
+	for _, w := range f.waiters {
+		if fn := h.fillHandlers[w.core]; fn != nil {
+			fn(w.seq)
+		}
 	}
 	h.notifyUnstall()
 }

@@ -90,6 +90,11 @@ type CacheLevel struct {
 	HitCycles int // hit latency in CPU cycles
 	WriteBack bool
 	MSHRs     int
+	// Banks is the NUCA bank count used for access contention. Only
+	// the DRAM LLC models banked access; other levels ignore it. Must
+	// be a power of two (the bank index is addr low bits masked);
+	// zero means the default of 8.
+	Banks int
 }
 
 // NoC configures the on-chip mesh network.
@@ -270,6 +275,7 @@ func Default() *Config {
 		L2:  CacheLevel{SizeBytes: 8 << 20, Ways: 8, LineBytes: 64, HitCycles: 7, WriteBack: true, MSHRs: 32},
 		DRAMLLC: CacheLevel{
 			SizeBytes: 256 << 20, Ways: 8, LineBytes: 64, HitCycles: 100, WriteBack: true, MSHRs: 32,
+			Banks: 8,
 		},
 		NoC: NoC{Rows: 2, Cols: 4, RouterCycles: 1, LinkCycles: 1, FlitBytes: 16},
 		Memory: Memory{
@@ -373,6 +379,9 @@ func (c *Config) Validate() error {
 		if sets <= 0 || sets&(sets-1) != 0 {
 			return fmt.Errorf("config: %s set count %d is not a power of two", lvl.name, sets)
 		}
+	}
+	if b := c.DRAMLLC.Banks; b < 1 || b&(b-1) != 0 {
+		return fmt.Errorf("config: DRAMLLC.Banks must be a power of two >= 1, got %d", b)
 	}
 	return nil
 }

@@ -64,6 +64,24 @@ type Controller struct {
 	readWaiters  []func()
 	writeWaiters []func()
 
+	// Scheduling-pass scratch state, pre-bound once so the hot issue
+	// loop allocates nothing: plans is cleared (not reallocated) per
+	// pass, and the two queue-scan predicates close over the controller
+	// alone.
+	plans         map[*mem.Request]readPlan
+	serviceableFn func(*mem.Request) bool
+	rowHitFn      func(*mem.Request) bool
+
+	// Free lists recycling the per-request bookkeeping objects: active
+	// writes (with their inline intended-content buffer) and the event
+	// records that carry read/write/verify completions through the
+	// engine. Each record pre-binds its fire closure once, so a request
+	// costs no closure allocations in steady state.
+	awFree       *activeWrite
+	readEvFree   *readEv
+	verifyEvFree *verifyEv
+	writeEvFree  *writeEv
+
 	// PDES sharding state (see shard.go). rt is nil in single-threaded
 	// runs; postPending and hazardWrites feed PostHorizon and are only
 	// touched from the shard's owning context (worker goroutine or
@@ -108,6 +126,139 @@ type activeWrite struct {
 	mask     uint8                // the write's word mask
 	attempts int                  // re-program attempts so far
 	progEnd  sim.Time             // when programming finished (verify overhead baseline)
+
+	// intendedBuf backs intended when the producer supplied no real
+	// bytes and the controller synthesized content; inlining it here
+	// keeps the synthesis allocation-free across the pool.
+	intendedBuf [ecc.LineBytes]byte
+	next        *activeWrite // free-list link
+}
+
+// newActive pops a recycled activeWrite (or allocates the pool's next
+// one) with every scheduling-visible field reset. intendedBuf is left
+// dirty: applyWrite overwrites it before anything reads it.
+func (c *Controller) newActive() *activeWrite {
+	aw := c.awFree
+	if aw == nil {
+		return &activeWrite{}
+	}
+	c.awFree = aw.next
+	aw.next = nil
+	aw.req = nil
+	aw.bank = 0
+	aw.essCount = 0
+	aw.end = 0
+	aw.coord = mem.Coord{}
+	aw.intended = nil
+	aw.mask = 0
+	aw.attempts = 0
+	aw.progEnd = 0
+	return aw
+}
+
+// recycleActive returns a completed write's record to the pool.
+// completeWrite is the unique terminal of every write path (plain,
+// verify-retry, remap, pausing), so the record is dead once it runs.
+func (c *Controller) recycleActive(aw *activeWrite) {
+	aw.req = nil
+	aw.intended = nil
+	aw.next = c.awFree
+	c.awFree = aw
+}
+
+// readEv carries one read's completion through the engine. The fire
+// closure is bound once per record; recycling re-arms it for the next
+// read at zero allocations.
+type readEv struct {
+	r        *mem.Request
+	verifyAt sim.Time
+	fire     func()
+	next     *readEv
+}
+
+func (c *Controller) newReadEv(r *mem.Request, verifyAt sim.Time) *readEv {
+	ev := c.readEvFree
+	if ev == nil {
+		ev = &readEv{}
+		ev.fire = func() {
+			r, verifyAt := ev.r, ev.verifyAt
+			ev.r = nil
+			ev.next = c.readEvFree
+			c.readEvFree = ev
+			c.completeRead(r, verifyAt)
+		}
+	} else {
+		c.readEvFree = ev.next
+	}
+	ev.r, ev.verifyAt = r, verifyAt
+	return ev
+}
+
+// verifyEv carries a reconstructed read's deferred SECDED verification.
+type verifyEv struct {
+	r      *mem.Request
+	faulty bool
+	fire   func()
+	next   *verifyEv
+}
+
+func (c *Controller) newVerifyEv(r *mem.Request, faulty bool) *verifyEv {
+	ev := c.verifyEvFree
+	if ev == nil {
+		ev = &verifyEv{}
+		ev.fire = func() {
+			r, faulty := ev.r, ev.faulty
+			ev.r = nil
+			ev.next = c.verifyEvFree
+			c.verifyEvFree = ev
+			c.dropPost()
+			c.Metrics.RoWVerifies.Inc()
+			if faulty {
+				c.Metrics.RoWFaulty.Inc()
+			}
+			c.postVerify(r, faulty)
+		}
+	} else {
+		c.verifyEvFree = ev.next
+	}
+	ev.r, ev.faulty = r, faulty
+	return ev
+}
+
+// writeEv carries one write's end-of-programming event: releasing its
+// power slots, then either completing a silent write directly or
+// entering the (maybe-)verify path.
+type writeEv struct {
+	r      *mem.Request
+	aw     *activeWrite
+	power  int
+	silent bool
+	fire   func()
+	next   *writeEv
+}
+
+func (c *Controller) newWriteEv(r *mem.Request, aw *activeWrite, power int, silent bool) *writeEv {
+	ev := c.writeEvFree
+	if ev == nil {
+		ev = &writeEv{}
+		ev.fire = func() {
+			r, aw, power, silent := ev.r, ev.aw, ev.power, ev.silent
+			ev.r, ev.aw = nil, nil
+			ev.next = c.writeEvFree
+			c.writeEvFree = ev
+			c.dropPost()
+			c.powerInUse -= power
+			if silent {
+				c.completeWrite(r, aw)
+			} else {
+				c.maybeVerifyWrite(r, aw)
+			}
+		}
+	} else {
+		c.writeEvFree = ev.next
+	}
+	ev.r, ev.aw, ev.power, ev.silent = r, aw, power, silent
+	return ev
 }
 
 // NewController builds a controller for one channel.
@@ -129,6 +280,20 @@ func NewController(eng *sim.Engine, cfgAll *config.Config, channel int, amap *me
 	}
 	c.runTimer = eng.NewTimer(c.run)
 	c.kickTimer = eng.NewTimer(c.kick)
+	c.plans = make(map[*mem.Request]readPlan)
+	c.serviceableFn = func(r *mem.Request) bool {
+		if r.Started || r.Kind != mem.Read {
+			return false
+		}
+		p, ok := c.planRead(r)
+		if ok {
+			c.plans[r] = p
+		} else if p.blockedByWr {
+			r.DelayedByWrite = true
+		}
+		return ok
+	}
+	c.rowHitFn = func(r *mem.Request) bool { return c.plans[r].rowHit }
 	c.dataBus.Turnaround = m.Timing.TWTR.Time()
 	// Shard lookahead floor: no issue path completes (and therefore
 	// posts to the front end) sooner than the smaller of the read and
@@ -465,22 +630,22 @@ func (c *Controller) lineChips(rotIdx uint64) uint16 {
 // synthesizeWriteData builds new line content for a masked write when
 // the producer did not supply real bytes: every essential word receives
 // a fresh value guaranteed to differ from the stored one, so the
-// differential-write machinery sees genuine SET/RESET transitions.
-func (c *Controller) synthesizeWriteData(lineIdx uint64, mask uint8) *[ecc.LineBytes]byte {
-	var buf [ecc.LineBytes]byte
-	c.rank.Store.ReadLine(lineIdx, &buf)
+// differential-write machinery sees genuine SET/RESET transitions. The
+// content lands in buf (the active write's inline buffer), keeping the
+// synthesis allocation-free.
+func (c *Controller) synthesizeWriteData(lineIdx uint64, mask uint8, buf *[ecc.LineBytes]byte) {
+	c.rank.Store.ReadLine(lineIdx, buf)
 	for w := 0; w < ecc.WordsPerLine; w++ {
 		if mask&(1<<uint(w)) == 0 {
 			continue
 		}
-		old := ecc.Word(&buf, w)
+		old := ecc.Word(buf, w)
 		v := c.rng.Uint64()
 		if v == old {
 			v ^= 1
 		}
-		ecc.SetWord(&buf, w, v)
+		ecc.SetWord(buf, w, v)
 	}
-	return &buf
 }
 
 // statusPollCost charges the DIMM-register Status command on the

@@ -34,7 +34,8 @@ func (c *Controller) issuePausingWrite(r *mem.Request) {
 	r.Started = true
 	r.Issue = now
 	coord := c.decode(r.Addr)
-	essMask, res, intended := c.applyWrite(r, coord.LineIdx)
+	aw := c.newActive()
+	essMask, res := c.applyWrite(r, coord.LineIdx, aw)
 	essCount := bits.OnesCount8(essMask)
 	c.Metrics.DirtyWords.Add(essCount)
 	if essCount == 0 {
@@ -63,8 +64,8 @@ func (c *Controller) issuePausingWrite(r *mem.Request) {
 	}
 
 	c.powerInUse = c.cfg.PowerSlots
-	aw := &activeWrite{req: r, bank: coord.Bank, essCount: essCount,
-		coord: coord, intended: intended, mask: r.Mask}
+	aw.req, aw.bank, aw.essCount = r, coord.Bank, essCount
+	aw.coord, aw.mask = coord, r.Mask
 	c.active = append(c.active, aw)
 
 	pw := &pausedWrite{

@@ -85,31 +85,17 @@ func (c *Controller) rowServiceAllowed() bool {
 // FR-FCFS in normal mode and oldest-first during a drain (the paper's
 // RoW scheduler picks the oldest read).
 func (c *Controller) tryIssueRead() bool {
-	plans := make(map[*mem.Request]readPlan)
-	serviceable := func(r *mem.Request) bool {
-		if r.Started || r.Kind != mem.Read {
-			return false
-		}
-		p, ok := c.planRead(r)
-		if ok {
-			plans[r] = p
-		} else if p.blockedByWr {
-			r.DelayedByWrite = true
-		}
-		return ok
-	}
+	clear(c.plans)
 	var chosen *mem.Request
 	if c.draining {
-		chosen = c.rdq.Oldest(serviceable)
+		chosen = c.rdq.Oldest(c.serviceableFn)
 	} else {
-		chosen = c.rdq.SelectFRFCFS(serviceable, func(r *mem.Request) bool {
-			return plans[r].rowHit
-		})
+		chosen = c.rdq.SelectFRFCFS(c.serviceableFn, c.rowHitFn)
 	}
 	if chosen == nil {
 		return false
 	}
-	c.issueRead(chosen, plans[chosen])
+	c.issueRead(chosen, c.plans[chosen])
 	return true
 }
 
@@ -131,8 +117,9 @@ func (c *Controller) issueRead(r *mem.Request, p readPlan) {
 	}
 	start = c.commandCost(start, 2)
 
-	// The set of chips that stream this read.
-	var involved []int
+	// The set of chips that stream this read (at most all ten slots).
+	var involvedBuf [10]int
+	involved := involvedBuf[:0]
 	for w := 0; w < ecc.WordsPerLine; w++ {
 		chip := l.DataChip(p.coord.RotIdx, w)
 		if chip != p.busyChip {
@@ -184,7 +171,7 @@ func (c *Controller) issueRead(r *mem.Request, p readPlan) {
 	c.decodeRead(r, p.coord.LineIdx)
 
 	c.notePost(done)
-	c.eng.At(done, func() { c.completeRead(r, p, verifyAt) })
+	c.eng.At(done, c.newReadEv(r, verifyAt).fire)
 }
 
 // decodeRead is the SECDED decode every serviced read passes through:
@@ -250,7 +237,7 @@ func (c *Controller) decodeRead(r *mem.Request, lineIdx uint64) {
 	}
 }
 
-func (c *Controller) completeRead(r *mem.Request, p readPlan, verifyAt sim.Time) {
+func (c *Controller) completeRead(r *mem.Request, verifyAt sim.Time) {
 	c.dropPost()
 	r.Done = c.eng.Now()
 	c.rdq.Remove(r)
@@ -311,14 +298,7 @@ func (c *Controller) completeRead(r *mem.Request, p readPlan, verifyAt sim.Time)
 // streamed the missing word).
 func (c *Controller) scheduleVerifyRecon(r *mem.Request, verifyAt sim.Time, faulty bool) {
 	c.notePost(verifyAt)
-	c.eng.At(verifyAt, func() {
-		c.dropPost()
-		c.Metrics.RoWVerifies.Inc()
-		if faulty {
-			c.Metrics.RoWFaulty.Inc()
-		}
-		c.postVerify(r, faulty)
-	})
+	c.eng.At(verifyAt, c.newVerifyEv(r, faulty).fire)
 }
 
 // injectedFault samples the configured fault model: FaultMode overrides

@@ -97,15 +97,18 @@ func (c *Controller) fineWriteReady(r *mem.Request) bool {
 }
 
 // applyWrite applies the request's content to the functional store and
-// returns the essential-word mask (words whose bits actually flip), the
-// per-chip transition analysis, and the intended line content (what the
+// returns the essential-word mask (words whose bits actually flip) and
+// the per-chip transition analysis. The intended line content (what the
 // cells should hold afterwards — the verify read-back compares against
-// it).
-func (c *Controller) applyWrite(r *mem.Request, lineIdx uint64) (uint8, pcm.WriteResult, *[ecc.LineBytes]byte) {
+// it) lands in aw.intended: the caller's data when supplied, otherwise
+// synthesized content in aw's inline buffer.
+func (c *Controller) applyWrite(r *mem.Request, lineIdx uint64, aw *activeWrite) (uint8, pcm.WriteResult) {
 	data := r.Data
 	if data == nil {
-		data = c.synthesizeWriteData(lineIdx, r.Mask)
+		c.synthesizeWriteData(lineIdx, r.Mask, &aw.intendedBuf)
+		data = &aw.intendedBuf
 	}
+	aw.intended = data
 	res := c.rank.Store.WriteWords(lineIdx, r.Mask, data)
 	var essMask uint8
 	for w := 0; w < ecc.WordsPerLine; w++ {
@@ -113,7 +116,7 @@ func (c *Controller) applyWrite(r *mem.Request, lineIdx uint64) (uint8, pcm.Writ
 			essMask |= 1 << uint(w)
 		}
 	}
-	return essMask, res, data
+	return essMask, res
 }
 
 func (c *Controller) issueCoarseWrite(r *mem.Request) {
@@ -121,7 +124,8 @@ func (c *Controller) issueCoarseWrite(r *mem.Request) {
 	r.Started = true
 	r.Issue = now
 	coord := c.decode(r.Addr)
-	essMask, res, intended := c.applyWrite(r, coord.LineIdx)
+	aw := c.newActive()
+	essMask, res := c.applyWrite(r, coord.LineIdx, aw)
 	essCount := bits.OnesCount8(essMask)
 	c.Metrics.DirtyWords.Add(essCount)
 	if essCount == 0 {
@@ -169,8 +173,8 @@ func (c *Controller) issueCoarseWrite(r *mem.Request) {
 	}
 
 	c.powerInUse = c.cfg.PowerSlots
-	aw := &activeWrite{req: r, bank: coord.Bank, essCount: essCount, end: end,
-		coord: coord, intended: intended, mask: r.Mask}
+	aw.req, aw.bank, aw.essCount, aw.end = r, coord.Bank, essCount, end
+	aw.coord, aw.mask = coord, r.Mask
 	c.active = append(c.active, aw)
 
 	// IRLP: window covers the write's occupancy; only the chips doing
@@ -186,10 +190,7 @@ func (c *Controller) issueCoarseWrite(r *mem.Request) {
 	}
 
 	c.notePost(end)
-	c.eng.At(end, func() {
-		c.dropPost()
-		c.maybeVerifyWrite(r, aw)
-	})
+	c.eng.At(end, c.newWriteEv(r, aw, 0, false).fire)
 }
 
 // fineJob describes one chip-word programming job of a fine write.
@@ -203,7 +204,8 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 	r.Started = true
 	r.Issue = now
 	coord := c.decode(r.Addr)
-	essMask, res, intended := c.applyWrite(r, coord.LineIdx)
+	aw := c.newActive()
+	essMask, res := c.applyWrite(r, coord.LineIdx, aw)
 	essCount := bits.OnesCount8(essMask)
 	c.Metrics.DirtyWords.Add(essCount)
 	c.wearTick()
@@ -237,18 +239,16 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 				}
 			}
 		}
-		aw := &activeWrite{req: r, bank: coord.Bank, essCount: 0, end: end}
+		aw.req, aw.bank, aw.essCount, aw.end = r, coord.Bank, 0, end
 		c.active = append(c.active, aw)
 		c.notePost(end)
-		c.eng.At(end, func() {
-			c.dropPost()
-			c.completeWrite(r, aw)
-		})
+		c.eng.At(end, c.newWriteEv(r, aw, 0, true).fire)
 		return
 	}
 
 	// Build the job list: essential data words, then ECC, then PCC.
-	jobs := make([]fineJob, 0, essCount+2)
+	var jobsBuf [ecc.WordsPerLine]fineJob
+	jobs := jobsBuf[:0]
 	for w := 0; w < ecc.WordsPerLine; w++ {
 		if essMask&(1<<uint(w)) != 0 {
 			jobs = append(jobs, fineJob{chip: l.DataChip(coord.RotIdx, w), flips: res.PerWord[w]})
@@ -338,15 +338,11 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 
 	c.Metrics.IRLP.AddWriteWindow(t0, end)
 
-	aw := &activeWrite{req: r, bank: coord.Bank, essCount: essCount, end: end,
-		coord: coord, intended: intended, mask: r.Mask}
+	aw.req, aw.bank, aw.essCount, aw.end = r, coord.Bank, essCount, end
+	aw.coord, aw.mask = coord, r.Mask
 	c.active = append(c.active, aw)
 	c.notePost(end)
-	c.eng.At(end, func() {
-		c.dropPost()
-		c.powerInUse -= power
-		c.maybeVerifyWrite(r, aw)
-	})
+	c.eng.At(end, c.newWriteEv(r, aw, power, false).fire)
 }
 
 func (c *Controller) completeWrite(r *mem.Request, aw *activeWrite) {
@@ -367,4 +363,5 @@ func (c *Controller) completeWrite(r *mem.Request, aw *activeWrite) {
 		c.hazardWrites--
 	}
 	c.postWriteDone(r)
+	c.recycleActive(aw)
 }

@@ -42,6 +42,9 @@ type Core struct {
 	// stepTimer re-arms the scheduling loop; pre-binding step once
 	// means the per-cycle wakeups on the hot path allocate nothing.
 	stepTimer *sim.Timer
+	// unstallFn is the pre-bound OnUnstall callback, for the same
+	// reason: stall/retry cycles are hot in write-bound phases.
+	unstallFn func()
 
 	now     sim.Time // local clock, >= engine time when running
 	instrs  uint64
@@ -98,7 +101,13 @@ func NewCore(eng *sim.Engine, cfg *config.Config, id int, hier *cache.Hierarchy,
 		commitMean: float64((2000 * sim.CPUCycle).Ticks()),
 	}
 	c.stepTimer = eng.NewTimer(c.step)
+	c.unstallFn = func() {
+		c.waitingUnstall = false
+		c.stepTimer.Schedule(0)
+	}
+	c.pending = make([]load, 0, cfg.Core.WindowSize)
 	hier.SetVerifyHandler(id, c.onVerify)
+	hier.SetFillHandler(id, c.fillArrived)
 	return c
 }
 
@@ -328,7 +337,7 @@ func (c *Core) outstanding() int {
 // doLoad issues a load; false means stalled (retry via OnUnstall).
 func (c *Core) doLoad(op *workloads.Op) bool {
 	entrySeq := c.instrs
-	res, lat := c.hier.Load(c.ID, op.Addr, op.NonTemporal, func() { c.fillArrived(entrySeq) })
+	res, lat := c.hier.Load(c.ID, op.Addr, op.NonTemporal, entrySeq)
 	switch res {
 	case cache.HitL1:
 		// Covered by issue width; no window entry needed.
@@ -386,10 +395,7 @@ func (c *Core) waitUnstall() {
 		return
 	}
 	c.waitingUnstall = true
-	c.hier.OnUnstall(func() {
-		c.waitingUnstall = false
-		c.stepTimer.Schedule(0)
-	})
+	c.hier.OnUnstall(c.unstallFn)
 }
 
 func (c *Core) finish() {

@@ -163,7 +163,12 @@ func (r *Runner) defaultSimulate(ctx context.Context, cfg *config.Config, worklo
 	if err != nil {
 		return nil, err
 	}
-	return sys.RunCtx(ctx, warmup, measure)
+	res, err := sys.RunCtx(ctx, warmup, measure)
+	// Results are fully collected by RunCtx; recycle the cache slabs so
+	// the sweep's next same-geometry system reuses them instead of
+	// allocating tens of MB per run.
+	sys.Release()
+	return res, err
 }
 
 // callSimulate runs one simulation attempt with panic isolation: a

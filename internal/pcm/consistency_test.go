@@ -17,7 +17,8 @@ func TestCheckConsistentDetectsCorruption(t *testing.T) {
 	fresh := func() *Line {
 		s := NewStore()
 		s.WriteWords(0, 0xff, randomLine(rng))
-		return s.Peek(0)
+		l := s.Peek(0)
+		return &l
 	}
 
 	if err := fresh().CheckConsistent(); err != nil {

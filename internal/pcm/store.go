@@ -38,11 +38,34 @@ func (l *Line) CheckConsistent() error {
 	return nil
 }
 
+// Lines are materialized in blocks of 64 so that a warm region costs
+// one map entry and one allocation instead of 64: a block covers a
+// 4 KB span of data payload, the natural page granularity of the
+// workloads' address streams.
+const (
+	blockShift = 6
+	blockLines = 1 << blockShift
+	blockMask  = blockLines - 1
+)
+
+// lineBlock is one contiguous 64-line region of the rank, materialized
+// on the first write to any of its lines. The written bitmap records
+// which lines were ever written: the rest read as zero and, crucially,
+// are skipped by drift injection (their cells were never programmed),
+// exactly as when every line was an individual map entry.
+type lineBlock struct {
+	lines   [blockLines]Line
+	written uint64
+}
+
 // Store is the sparse functional content of one rank's PCM arrays,
 // keyed by line index (line address within the rank). Lines never
-// written read as zero.
+// written read as zero. Storage is a two-level page table: a map of
+// 64-line value-typed blocks, so multi-GB footprints cost one pointer
+// per warm 4 KB region rather than one heap object per line.
 type Store struct {
-	lines map[uint64]*Line
+	blocks    map[uint64]*lineBlock
+	lineCount int // distinct lines ever written
 
 	// Faults, when non-nil, injects endurance-driven stuck-at cells on
 	// every programming operation and drift flips on demand (see
@@ -52,32 +75,52 @@ type Store struct {
 }
 
 // NewStore returns an empty store.
-func NewStore() *Store { return &Store{lines: make(map[uint64]*Line)} }
+func NewStore() *Store { return &Store{blocks: make(map[uint64]*lineBlock)} }
 
 // Lines returns the number of distinct lines ever written.
-func (s *Store) Lines() int { return len(s.lines) }
+func (s *Store) Lines() int { return s.lineCount }
 
 var zeroLine Line
 
-// Peek returns the stored line, or a shared all-zero line if the
-// address was never written. Callers must not mutate the result of a
-// never-written address; use Get for mutation.
-func (s *Store) Peek(lineIdx uint64) *Line {
-	if l, ok := s.lines[lineIdx]; ok {
-		return l
+// peek returns a read-only view of the stored line, or the shared
+// all-zero line if the address was never written. Internal callers on
+// the read path use it to avoid copying; they must never mutate the
+// result (TestPeekZeroLineStaysZero enforces the invariant).
+func (s *Store) peek(lineIdx uint64) *Line {
+	if b, ok := s.blocks[lineIdx>>blockShift]; ok && b.written&(1<<(lineIdx&blockMask)) != 0 {
+		return &b.lines[lineIdx&blockMask]
 	}
 	return &zeroLine
 }
 
-// Get returns the stored line, allocating it on first touch.
+// Peek returns a copy of the stored line; a never-written address reads
+// as the zero line. The copy is the caller's to mutate — unlike the
+// earlier pointer-returning version, which handed every never-written
+// address the same shared zero line and made mutation through the
+// result a cross-line corruption hazard.
+func (s *Store) Peek(lineIdx uint64) Line { return *s.peek(lineIdx) }
+
+// Get returns the stored line, materializing its block on first touch
+// and marking the line written.
 func (s *Store) Get(lineIdx uint64) *Line {
-	l, ok := s.lines[lineIdx]
+	b, ok := s.blocks[lineIdx>>blockShift]
 	if !ok {
-		l = &Line{}
-		s.lines[lineIdx] = l
+		b = &lineBlock{}
+		s.blocks[lineIdx>>blockShift] = b
 	}
-	return l
+	if bit := uint64(1) << (lineIdx & blockMask); b.written&bit == 0 {
+		b.written |= bit
+		s.lineCount++
+	}
+	return &b.lines[lineIdx&blockMask]
 }
+
+// ZeroLineIntact reports whether the package-shared zero line is still
+// all-zero. The read path hands it out (via peek) for every
+// never-written address, so any mutation through that path corrupts
+// all such addresses at once. End-to-end tests assert this invariant
+// after full simulation runs.
+func ZeroLineIntact() bool { return zeroLine == Line{} }
 
 // FlipKind classifies the cell transitions a word write needs.
 type FlipKind struct {
@@ -176,11 +219,11 @@ func (s *Store) InjectDrift(lineIdx uint64) bool {
 	if s.Faults == nil {
 		return false
 	}
-	l, ok := s.lines[lineIdx]
-	if !ok {
+	b, ok := s.blocks[lineIdx>>blockShift]
+	if !ok || b.written&(1<<(lineIdx&blockMask)) == 0 {
 		return false
 	}
-	return s.Faults.onRead(lineIdx, l) >= 0
+	return s.Faults.onRead(lineIdx, &b.lines[lineIdx&blockMask]) >= 0
 }
 
 func eccWord(e [ecc.WordsPerLine]byte) uint64 {
@@ -201,7 +244,7 @@ func wordOf(p [ecc.WordBytes]byte) uint64 {
 
 // ReadLine copies the stored data of a line into out.
 func (s *Store) ReadLine(lineIdx uint64, out *[ecc.LineBytes]byte) {
-	*out = s.Peek(lineIdx).Data
+	*out = s.peek(lineIdx).Data
 }
 
 // ReconstructWord performs the RoW read-path reconstruction for the
@@ -211,7 +254,7 @@ func (s *Store) ReadLine(lineIdx uint64, out *[ecc.LineBytes]byte) {
 // reconstruction matches the stored word — it always should unless a
 // fault was injected into the stored content.
 func (s *Store) ReconstructWord(lineIdx uint64, missing int) (uint64, bool) {
-	l := s.Peek(lineIdx)
+	l := s.peek(lineIdx)
 	got := ecc.ReconstructWord(&l.Data, missing, l.PCC)
 	want := ecc.Word(&l.Data, missing)
 	return got, got == want

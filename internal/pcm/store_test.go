@@ -57,7 +57,8 @@ func TestWriteKeepsCodesConsistent(t *testing.T) {
 		idx := uint64(rng.Intn(16))
 		mask := uint8(rng.Uint64())
 		s.WriteWords(idx, mask, randomLine(rng))
-		if err := s.Peek(idx).CheckConsistent(); err != nil {
+		l := s.Peek(idx)
+		if err := l.CheckConsistent(); err != nil {
 			t.Fatalf("after write %d: %v", i, err)
 		}
 	}
@@ -134,6 +135,73 @@ func TestZeroMaskIsNoop(t *testing.T) {
 	res := s.WriteWords(4, 0, randomLine(rng))
 	if res.WordsDirty != 0 || s.Lines() != 0 {
 		t.Fatal("zero-mask write must not touch the store")
+	}
+}
+
+func TestLinesCountsAcrossBlocks(t *testing.T) {
+	// Lines() must count distinct written lines exactly, including two
+	// lines sharing a block and lines straddling a block boundary.
+	s := NewStore()
+	rng := sim.NewRNG(11)
+	for _, idx := range []uint64{0, 1, 0, blockLines - 1, blockLines, 3 * blockLines, blockLines} {
+		s.WriteWords(idx, 0xff, randomLine(rng))
+	}
+	if s.Lines() != 5 {
+		t.Fatalf("Lines() = %d, want 5 distinct", s.Lines())
+	}
+	// Writing one line must not make its block siblings look written:
+	// a drift injection on an untouched sibling must be a no-op even
+	// with a fault model armed.
+	s.Faults = NewFaultModel(FaultConfig{DriftProb: 0.999}, sim.NewRNG(1))
+	if s.InjectDrift(2) {
+		t.Fatal("drift injected into a never-written sibling line")
+	}
+}
+
+func TestPeekReturnsIndependentCopy(t *testing.T) {
+	s := NewStore()
+	rng := sim.NewRNG(13)
+	s.WriteWords(9, 0xff, randomLine(rng))
+	a := s.Peek(9)
+	a.Data[0] ^= 0xff
+	b := s.Peek(9)
+	if b.Data[0] == a.Data[0] {
+		t.Fatal("mutating a Peek result must not change the store")
+	}
+}
+
+func TestPeekZeroLineStaysZero(t *testing.T) {
+	// The old pointer-returning Peek handed every never-written address
+	// the same shared zero line; a single mutation through it corrupted
+	// all of them. The value-returning Peek makes mutation safe — pin
+	// that the shared line survives a hostile caller.
+	s := NewStore()
+	l := s.Peek(4242)
+	for i := range l.Data {
+		l.Data[i] = 0xff
+	}
+	if !ZeroLineIntact() {
+		t.Fatal("mutating a never-written Peek result corrupted the shared zero line")
+	}
+	var out [ecc.LineBytes]byte
+	s.ReadLine(4242, &out)
+	if out != ([ecc.LineBytes]byte{}) {
+		t.Fatal("never-written line no longer reads as zero")
+	}
+}
+
+func TestGetAllocFreeOnMaterializedLines(t *testing.T) {
+	s := NewStore()
+	rng := sim.NewRNG(17)
+	for i := uint64(0); i < 4*blockLines; i++ {
+		s.WriteWords(i, 0xff, randomLine(rng))
+	}
+	var idx uint64
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Get(idx % (4 * blockLines))
+		idx++
+	}); n != 0 {
+		t.Fatalf("Get on materialized lines allocated %.1f/op, want 0", n)
 	}
 }
 

@@ -34,7 +34,12 @@ func TestGracefulDrainOnSIGTERM(t *testing.T) {
 		t.Skip("real simulations and signals")
 	}
 
-	const warmup, measure = 500, 8000
+	// Budgets sized so each job runs long enough that several are still
+	// in flight when the signal lands and while the late request below
+	// makes its round trip — the drain window this test observes is
+	// real wall-clock time, so it must outlast an HTTP exchange even as
+	// the simulator gets faster.
+	const warmup, measure = 1000, 40000
 	s := New(Config{Workers: 2, QueueDepth: 8,
 		DefaultWarmup: warmup, DefaultMeasure: measure, Logf: t.Logf})
 

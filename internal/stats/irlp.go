@@ -34,6 +34,14 @@ type irlpDelta struct {
 // NewIRLP returns an empty tracker.
 func NewIRLP() *IRLP { return &IRLP{} }
 
+// Reset empties the tracker in place, keeping the delta array's
+// capacity so warmup-discard resets do not reallocate it.
+func (x *IRLP) Reset() {
+	x.deltas = x.deltas[:0]
+	x.finalized = false
+	x.avg, x.maxBusy, x.busyTime = 0, 0, 0
+}
+
 // AddWriteWindow records that a write request is in service on the rank
 // during [start, end).
 func (x *IRLP) AddWriteWindow(start, end sim.Time) {

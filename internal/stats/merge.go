@@ -24,23 +24,20 @@ func MergeHistogram(dst, src *Histogram) {
 	}
 }
 
-// MergeLatency folds src's samples into dst. Like MergeHistogram, a
-// shorter dst clamps src's overflow into its last bucket and an empty
-// (zero-value) dst adopts src's bucket count, instead of panicking on
-// an out-of-range index.
+// MergeLatency folds src's samples into dst. Trackers grow their
+// bucket arrays on demand, so a dst physically shorter than src grows
+// to src's length rather than clamping — every sample keeps its exact
+// bucket and percentile results match a tracker that saw all samples
+// directly.
 func MergeLatency(dst, src *LatencyTracker) {
-	if len(dst.buckets) == 0 && len(src.buckets) > 0 {
-		dst.buckets = make([]uint64, len(src.buckets))
+	if len(src.buckets) > len(dst.buckets) {
+		dst.grow(len(src.buckets) - 1)
 	}
 	for i, n := range src.buckets {
 		if n == 0 {
 			continue
 		}
-		j := i
-		if j >= len(dst.buckets) {
-			j = len(dst.buckets) - 1
-		}
-		dst.buckets[j] += n
+		dst.buckets[i] += n
 	}
 	dst.total += src.total
 	dst.sumNS += src.sumNS

@@ -55,30 +55,39 @@ func latWith(n int, samplesNS ...int) *LatencyTracker {
 	return l
 }
 
-// TestMergeLatencyClamps covers the same mismatch matrix for
-// LatencyTracker, which used to index dst out of range when dst was
-// shorter than src (including the empty zero value).
-func TestMergeLatencyClamps(t *testing.T) {
+// TestMergeLatencyGrows covers the size-mismatch matrix for
+// LatencyTracker: a dst physically shorter than src (including the
+// empty zero value) grows rather than clamping, so every sample keeps
+// its exact bucket position after the merge.
+func TestMergeLatencyGrows(t *testing.T) {
 	cases := []struct {
 		name      string
 		dst, src  *LatencyTracker
-		wantLast  uint64 // count in dst's last bucket after merge
+		wantAt    map[int]uint64 // expected counts by bucket index
 		wantTotal uint64
 	}{
-		{"equal sizes", latWith(10, 3, 9), latWith(10, 9), 2, 3},
-		{"empty zero-value dst adopts src size", &LatencyTracker{}, latWith(10, 4, 9), 1, 2},
-		{"shorter dst clamps overflow", latWith(5, 4), latWith(10, 7, 9, 9), 4, 4},
-		{"empty src is a no-op", latWith(5, 4), &LatencyTracker{}, 1, 1},
+		{"equal sizes", latWith(10, 3, 9), latWith(10, 9),
+			map[int]uint64{3: 1, 9: 2}, 3},
+		{"empty zero-value dst grows to cover src", &LatencyTracker{}, latWith(10, 4, 9),
+			map[int]uint64{4: 1, 9: 1}, 2},
+		{"shorter dst grows, samples keep positions", latWith(5, 4), latWith(10, 7, 9, 9),
+			map[int]uint64{4: 1, 7: 1, 9: 2}, 4},
+		{"empty src is a no-op", latWith(5, 4), &LatencyTracker{},
+			map[int]uint64{4: 1}, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
+			srcLen := len(tc.src.buckets)
 			MergeLatency(tc.dst, tc.src)
 			if tc.dst.total != tc.wantTotal {
 				t.Errorf("total = %d, want %d", tc.dst.total, tc.wantTotal)
 			}
-			if n := len(tc.dst.buckets); n > 0 {
-				if got := tc.dst.buckets[n-1]; got != tc.wantLast {
-					t.Errorf("last bucket = %d, want %d", got, tc.wantLast)
+			if len(tc.dst.buckets) < srcLen {
+				t.Errorf("dst len %d < src len %d after merge", len(tc.dst.buckets), srcLen)
+			}
+			for i, want := range tc.wantAt {
+				if got := tc.dst.buckets[i]; got != want {
+					t.Errorf("bucket[%d] = %d, want %d", i, got, want)
 				}
 			}
 		})

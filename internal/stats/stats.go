@@ -121,12 +121,23 @@ func (h *Histogram) MeanValue() float64 {
 // Buckets returns a copy of the raw bucket counts.
 func (h *Histogram) Buckets() []uint64 { return append([]uint64(nil), h.buckets...) }
 
+// Reset empties the histogram in place, keeping the bucket array.
+func (h *Histogram) Reset() {
+	clear(h.buckets)
+	h.total = 0
+}
+
 // LatencyTracker accumulates request latencies and reports mean and
 // selected percentiles. It stores samples compactly in nanosecond
-// buckets (1 ns resolution up to 100 us), which is ample for memory
-// request latencies.
+// buckets (1 ns resolution up to 100 us, which is ample for memory
+// request latencies). The bucket array grows on demand up to that
+// range: memory request latencies cluster in the low hundreds of
+// nanoseconds, so the physical array stays a few KB instead of the
+// 800 KB a fully materialized range would cost — per channel, and
+// rebuilt on every warmup reset, that difference dominated the
+// simulator's own heap churn.
 type LatencyTracker struct {
-	buckets []uint64 // 1 ns resolution
+	buckets []uint64 // 1 ns resolution, grown on demand
 	total   uint64
 	sumNS   float64
 	maxNS   float64
@@ -136,7 +147,7 @@ const latencyBucketCount = 100000
 
 // NewLatencyTracker returns an empty tracker.
 func NewLatencyTracker() *LatencyTracker {
-	return &LatencyTracker{buckets: make([]uint64, latencyBucketCount)}
+	return &LatencyTracker{}
 }
 
 // Add records one latency.
@@ -146,8 +157,11 @@ func (l *LatencyTracker) Add(d sim.Time) {
 		ns = 0
 	}
 	i := int(ns)
+	if i >= latencyBucketCount {
+		i = latencyBucketCount - 1
+	}
 	if i >= len(l.buckets) {
-		i = len(l.buckets) - 1
+		l.grow(i)
 	}
 	l.buckets[i]++
 	l.total++
@@ -155,6 +169,31 @@ func (l *LatencyTracker) Add(d sim.Time) {
 	if ns > l.maxNS {
 		l.maxNS = ns
 	}
+}
+
+// grow extends the physical bucket array to cover index i, doubling so
+// repeated growth stays amortized-constant.
+func (l *LatencyTracker) grow(i int) {
+	n := len(l.buckets) * 2
+	if n < 1024 {
+		n = 1024
+	}
+	for n <= i {
+		n *= 2
+	}
+	if n > latencyBucketCount {
+		n = latencyBucketCount
+	}
+	nb := make([]uint64, n)
+	copy(nb, l.buckets)
+	l.buckets = nb
+}
+
+// Reset empties the tracker in place, keeping the grown bucket array
+// so steady-state reuse (warmup-discard resets) does not reallocate.
+func (l *LatencyTracker) Reset() {
+	clear(l.buckets)
+	l.total, l.sumNS, l.maxNS = 0, 0, 0
 }
 
 // Count returns the number of samples.
@@ -184,7 +223,7 @@ func (l *LatencyTracker) PercentileNS(p float64) float64 {
 			return float64(i)
 		}
 	}
-	return float64(len(l.buckets) - 1)
+	return float64(latencyBucketCount - 1)
 }
 
 // Table is a minimal result-table builder that renders Markdown or CSV,

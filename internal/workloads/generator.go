@@ -254,7 +254,10 @@ func (g *Generator) patternFor(line uint64) uint8 {
 		mask |= 1 << uint((base+i)%8)
 	}
 	if len(g.patterns) >= 1<<16 {
-		g.patterns = make(map[uint64]uint8) // bounded memory; patterns re-sample
+		// Bounded memory; patterns re-sample. Clearing keeps the map's
+		// grown bucket array instead of handing a 64K-entry allocation
+		// to the GC every time the cap is hit.
+		clear(g.patterns)
 	}
 	g.patterns[line] = mask
 	return mask

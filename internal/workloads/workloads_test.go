@@ -185,6 +185,64 @@ func TestGeneratorDeterminism(t *testing.T) {
 	}
 }
 
+// TestPatternMapCapBounded pins the 64K-entry bound of the per-line
+// write-pattern memo: crossing it must reset the map (patterns
+// re-sample) without ever letting it grow past the cap.
+func TestPatternMapCapBounded(t *testing.T) {
+	p := MustByName("canneal")
+	g := NewGenerator(p, 0, sim.NewRNG(23), nil)
+	for line := uint64(0); line < 3<<16; line++ {
+		g.patternFor(line)
+		if len(g.patterns) > 1<<16 {
+			t.Fatalf("pattern map grew past the 64K cap: %d entries", len(g.patterns))
+		}
+	}
+	// The reset map must still memoize.
+	m1 := g.patternFor(99)
+	if m2 := g.patternFor(99); m2 != m1 {
+		t.Fatalf("pattern not remembered after cap reset: %#x then %#x", m1, m2)
+	}
+}
+
+// TestDeterministicAcrossPatternCap drives two identically-seeded
+// generators through the pattern-map cap boundary and far beyond it:
+// the memo reset must never perturb the op stream.
+func TestDeterministicAcrossPatternCap(t *testing.T) {
+	p := MustByName("canneal")
+	g1 := NewGenerator(p, 0, sim.NewRNG(31), nil)
+	g2 := NewGenerator(p, 0, sim.NewRNG(31), nil)
+	for line := uint64(0); line < 2<<16; line++ {
+		if a, b := g1.patternFor(line), g2.patternFor(line); a != b {
+			t.Fatalf("pattern streams diverged at line %d: %#x vs %#x", line, a, b)
+		}
+	}
+	var a, b Op
+	for i := 0; i < 5000; i++ {
+		g1.Next(&a)
+		g2.Next(&b)
+		if a != b {
+			t.Fatalf("op streams diverged at op %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestPatternForAllocFreeWarm pins the steady-state mask path: looking
+// up an already-sampled line's pattern allocates nothing.
+func TestPatternForAllocFreeWarm(t *testing.T) {
+	p := MustByName("canneal")
+	g := NewGenerator(p, 0, sim.NewRNG(37), nil)
+	for line := uint64(0); line < 1024; line++ {
+		g.patternFor(line)
+	}
+	var line uint64
+	if n := testing.AllocsPerRun(1000, func() {
+		g.patternFor(line & 1023)
+		line++
+	}); n != 0 {
+		t.Fatalf("warm patternFor allocated %.1f/op, want 0", n)
+	}
+}
+
 func TestPrivateRegionsDisjoint(t *testing.T) {
 	for _, name := range Names() {
 		p := MustByName(name)
