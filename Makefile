@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-fix figures bench bench-check bench-shards profile sweep-smoke trace-smoke serve-smoke shard-smoke
+.PHONY: build test race lint lint-fix figures bench bench-check bench-shards profile sweep-smoke trace-smoke serve-smoke shard-smoke variant-smoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,12 @@ trace-smoke:
 # job, scrape /metrics, and SIGTERM into a clean drain. CI runs this.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Variant-registry check: -list-variants names every registered system
+# and the follow-on variants (PALP, RWoW-DCA) run end to end with their
+# variant-specific metrics nonzero. CI runs this.
+variant-smoke:
+	sh scripts/variant_smoke.sh
 
 # Capture CPU and heap profiles of a full figure regeneration; inspect
 # with `go tool pprof cpu.prof` (see DESIGN.md §8).

@@ -530,6 +530,36 @@ func BenchmarkStoreGetWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeLineWrite measures the DCA content-analysis kernel:
+// the per-write SET/RESET bit census RWoW-DCA folds over a masked line
+// with OnesCount64. It runs on the applyWrite hot path whenever the
+// ContentAware feature is on, so the ledger pins it at 0 allocs/op.
+func BenchmarkAnalyzeLineWrite(b *testing.B) {
+	rng := sim.NewRNG(9)
+	s := pcm.NewStore()
+	const lines = 1 << 10
+	var news [lines][ecc.LineBytes]byte
+	for i := uint64(0); i < lines; i++ {
+		line := s.Get(i)
+		for j := range line.Data {
+			line.Data[j] = byte(rng.Uint64())
+		}
+		for j := range news[i] {
+			news[i][j] = byte(rng.Uint64())
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		idx := uint64(i) & (lines - 1)
+		old := s.Peek(idx)
+		f := pcm.AnalyzeLineWrite(&old.Data, &news[idx], uint8(i)|1)
+		sink += f.Sets + f.Resets
+	}
+	_ = sink
+}
+
 // BenchmarkGeneratorNext measures steady-state op generation including
 // the per-line write-pattern memo. Warm (footprint's patterns sampled)
 // it must not allocate: the memo map is clear()ed at its cap, never

@@ -16,9 +16,9 @@ func TestFlagSurface(t *testing.T) {
 	defineFlags(fs)
 	want := []string{
 		"avgmt", "cache", "cpuprofile", "drift", "endurance", "exp",
-		"format", "json", "measure", "memprofile", "par", "pausing",
-		"ratio", "resume", "retries", "seed", "shards", "timeout", "trace",
-		"tracesample", "v", "variant", "verify", "warmup", "workload",
+		"format", "json", "list-variants", "measure", "memprofile", "par",
+		"pausing", "ratio", "resume", "retries", "seed", "shards", "timeout",
+		"trace", "tracesample", "v", "variant", "verify", "warmup", "workload",
 	}
 	if got := cli.Surface(fs); !reflect.DeepEqual(got, want) {
 		t.Errorf("flag surface changed:\n got %v\nwant %v", got, want)

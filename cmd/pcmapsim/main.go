@@ -45,6 +45,7 @@ type simFlags struct {
 	verbose   *bool
 	workload  *string
 	variant   *string
+	listVars  *bool
 	seed      *uint64
 	shards    *int
 	ratio     *float64
@@ -74,6 +75,7 @@ func defineFlags(fs *flag.FlagSet) *simFlags {
 		verbose:   fs.Bool("v", false, "print per-run progress"),
 		workload:  cli.Workload(fs, "MP4"),
 		variant:   cli.Variant(fs, "RWoW-RDE"),
+		listVars:  cli.ListVariants(fs),
 		seed:      cli.Seed(fs, 0),
 		shards:    cli.Shards(fs),
 		ratio:     fs.Float64("ratio", 0, "adhoc: write-to-read latency ratio override (0 = default 2x)"),
@@ -105,6 +107,10 @@ func main() {
 
 	f := defineFlags(flag.CommandLine)
 	flag.Parse()
+	if *f.listVars {
+		fmt.Print(cli.PrintVariants())
+		return
+	}
 	var (
 		expName   = f.exp
 		warmup    = f.warmup
@@ -239,6 +245,7 @@ func main() {
 		"table4":    func() (*exp.FigureResult, error) { return exp.Table4(ctx, r) },
 		"headline":  func() (*exp.FigureResult, error) { return exp.Headline(ctx, r, *avgmt) },
 		"pausing":   func() (*exp.FigureResult, error) { return exp.Pausing(ctx, r) },
+		"palp":      func() (*exp.FigureResult, error) { return exp.Palp(ctx, r) },
 		"ablations": func() (*exp.FigureResult, error) { return exp.Ablations(ctx, r) },
 		"reliability": func() (*exp.FigureResult, error) {
 			v, err := lookupVariant(*variant)
@@ -248,7 +255,7 @@ func main() {
 			return exp.Reliability(ctx, r, *workload, v)
 		},
 	}
-	order := []string{"fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "table2", "table3", "table4", "headline", "pausing", "ablations", "reliability"}
+	order := []string{"fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "table2", "table3", "table4", "headline", "pausing", "palp", "ablations", "reliability"}
 
 	var names []string
 	if *expName == "all" {
@@ -298,17 +305,13 @@ func main() {
 	}
 }
 
-// lookupVariant resolves a -variant flag value, with a clear error
-// listing the valid names.
+// lookupVariant resolves a -variant flag value against the variant
+// registry, with a clear error listing the valid names.
 func lookupVariant(name string) (config.Variant, error) {
-	var names []string
-	for _, v := range config.Variants {
-		if v.String() == name {
-			return v, nil
-		}
-		names = append(names, v.String())
+	if v, ok := config.VariantByName(name); ok {
+		return v, nil
 	}
-	return 0, fmt.Errorf("unknown variant %q (want one of %s)", name, strings.Join(names, ", "))
+	return 0, fmt.Errorf("unknown variant %q (want one of %s)", name, strings.Join(config.VariantNames(), ", "))
 }
 
 // adhocOpts bundles the adhoc run's flag values.
@@ -360,6 +363,15 @@ func runAdhoc(ctx context.Context, r *exp.Runner, o adhocOpts) error {
 	fmt.Printf("rollbacks         %d\n", res.Rollbacks)
 	fmt.Printf("wear imbalance    %.3f (CV of per-chip writes)\n", res.WearCV)
 	fmt.Printf("write pauses      %d\n", res.Mem.WritePauses.Value())
+	// Follow-on variant lines print only when the capability is on, so
+	// the six paper variants' reports stay byte-identical.
+	if feat := res.Variant.Features(); feat.PartitionRoW {
+		fmt.Printf("part overlaps     %d reads, %d writes\n",
+			res.Mem.PartOverlapReads.Value(), res.Mem.PartOverlapWrites.Value())
+	} else if feat.ContentAware && res.Mem.SetBits != nil {
+		fmt.Printf("bits per write    %.1f SET, %.1f RESET (mean)\n",
+			res.Mem.SetBits.MeanValue(), res.Mem.ResetBits.MeanValue())
+	}
 	if o.endurance > 0 || o.drift > 0 || o.verify {
 		fmt.Printf("injected faults   %d stuck-at, %d drift flips\n", res.InjectedStuck, res.InjectedDrift)
 		fmt.Printf("read corrections  SECDED %d (check-only %d), PCC rebuilt %d, uncorrectable %d\n",

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/bits"
 	"os"
+	"strings"
 
 	"pcmap/internal/cli"
 	"pcmap/internal/config"
@@ -205,15 +206,10 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	var variant config.Variant
-	found := false
-	for _, v := range config.Variants {
-		if v.String() == *variantName {
-			variant, found = v, true
-		}
-	}
+	variant, found := config.VariantByName(*variantName)
 	if !found {
-		return fmt.Errorf("unknown variant %q", *variantName)
+		return fmt.Errorf("unknown variant %q (want one of %s)",
+			*variantName, strings.Join(config.VariantNames(), ", "))
 	}
 
 	cfg := config.Default().WithVariant(variant)

@@ -11,8 +11,12 @@ package cli
 
 import (
 	"flag"
+	"fmt"
 	"sort"
+	"strings"
 	"time"
+
+	"pcmap/internal/config"
 )
 
 // Workload defines the canonical -workload flag selecting the workload
@@ -22,9 +26,27 @@ func Workload(fs *flag.FlagSet, def string) *string {
 }
 
 // Variant defines the canonical -variant flag selecting the system
-// variant (see config.Variants).
+// variant. The help text lists the registry's names, so a newly
+// registered variant shows up in every tool's -help without edits.
 func Variant(fs *flag.FlagSet, def string) *string {
-	return fs.String("variant", def, "system variant (Baseline, RoW-NR, WoW-NR, RWoW-NR, RWoW-RD, RWoW-RDE)")
+	return fs.String("variant", def,
+		"system variant ("+strings.Join(config.VariantNames(), ", ")+")")
+}
+
+// ListVariants defines the canonical -list-variants flag: print the
+// variant registry (names and capability sets) and exit.
+func ListVariants(fs *flag.FlagSet) *bool {
+	return fs.Bool("list-variants", false, "list the registered system variants and exit")
+}
+
+// PrintVariants renders the variant registry, one line per variant:
+// the canonical -variant name followed by its capability summary.
+func PrintVariants() string {
+	var b strings.Builder
+	for _, v := range config.AllVariants {
+		fmt.Fprintf(&b, "%-9s %s\n", v, v.Features().Summary())
+	}
+	return b.String()
 }
 
 // Seed defines the canonical -seed flag overriding the simulation's

@@ -6,13 +6,18 @@ package config
 
 import (
 	"fmt"
+	"strings"
 
 	"pcmap/internal/mem"
 	"pcmap/internal/sim"
 )
 
-// Variant identifies one of the six evaluated memory-system designs
-// (Section V of the paper).
+// Variant identifies one evaluated memory-system design: the paper's
+// six (Section V) plus the follow-on variants this repository layers on
+// top of them. A Variant is an index into the capability registry below;
+// what a variant *does* is entirely described by its Features value, so
+// adding a system means adding one registry entry, not editing predicate
+// methods and their call sites.
 type Variant int
 
 const (
@@ -31,47 +36,165 @@ const (
 	// RWoWRDE additionally rotates the ECC and PCC words across all
 	// ten chips; this is the full PCMap design.
 	RWoWRDE
+	// PALP layers partition-level access parallelism (Arjomand et al.'s
+	// follow-on line; PALP, PACT 2019 / arXiv:1908.07966) on top of the
+	// full PCMap design: each PCM bank is split into Memory.Partitions
+	// independent partitions, and the scheduler serves a read while a
+	// write occupies a *different* partition of the same bank.
+	PALP
+	// RWoWDCA layers data-content-aware write timing (DCA; ISMM 2020 /
+	// arXiv:2005.04753) on top of the full PCMap design: the cell
+	// programming time of each chip-word is computed from the
+	// differential write's actual SET/RESET bit counts instead of the
+	// worst-case single SET/RESET latency.
+	RWoWDCA
 )
 
-// Variants lists all evaluated systems in the paper's order.
-var Variants = []Variant{Baseline, RoWNR, WoWNR, RWoWNR, RWoWRD, RWoWRDE}
-
-func (v Variant) String() string {
-	switch v {
-	case Baseline:
-		return "Baseline"
-	case RoWNR:
-		return "RoW-NR"
-	case WoWNR:
-		return "WoW-NR"
-	case RWoWNR:
-		return "RWoW-NR"
-	case RWoWRD:
-		return "RWoW-RD"
-	case RWoWRDE:
-		return "RWoW-RDE"
-	default:
-		return fmt.Sprintf("Variant(%d)", int(v))
-	}
+// Features is the capability set of one variant — the open replacement
+// for the former per-variant predicate methods. A Features value is
+// resolved once from the registry when a system is constructed and then
+// consulted by the scheduler; it never changes mid-run.
+type Features struct {
+	// RoW serves reads over ongoing writes via PCC reconstruction.
+	RoW bool
+	// WoW consolidates writes with disjoint chip sets.
+	WoW bool
+	// RotateData rotates data words across chips (addr mod 8).
+	RotateData bool
+	// RotateECC rotates the ECC and PCC words across all ten chips
+	// (addr mod 10).
+	RotateECC bool
+	// FineGrained uses rank subsetting so a write only occupies the
+	// chips holding essential words; the baseline does coarse
+	// whole-rank writes.
+	FineGrained bool
+	// PartitionRoW additionally serves a read while a write occupies a
+	// different partition of the same bank (PALP).
+	PartitionRoW bool
+	// ContentAware computes write service time from the differential
+	// write's actual SET/RESET bit counts (DCA).
+	ContentAware bool
 }
 
+// Summary renders the capability set as a compact "+"-joined list of
+// the enabled capabilities ("-" when none are), for registry listings.
+func (f Features) Summary() string {
+	var parts []string
+	for _, c := range []struct {
+		name string
+		on   bool
+	}{
+		{"RoW", f.RoW},
+		{"WoW", f.WoW},
+		{"RotateData", f.RotateData},
+		{"RotateECC", f.RotateECC},
+		{"FineGrained", f.FineGrained},
+		{"PartitionRoW", f.PartitionRoW},
+		{"ContentAware", f.ContentAware},
+	} {
+		if c.on {
+			parts = append(parts, c.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "+")
+}
+
+// variantInfo is one registry entry: the variant's canonical name and
+// its capability set.
+type variantInfo struct {
+	name string
+	feat Features
+}
+
+// registry maps every Variant (by index) to its name and Features. The
+// first six entries are the paper's systems; their names and semantics
+// are frozen — reports, caches, and golden outputs depend on them
+// byte-for-byte.
+var registry = []variantInfo{
+	Baseline: {"Baseline", Features{}},
+	RoWNR:    {"RoW-NR", Features{RoW: true, FineGrained: true}},
+	WoWNR:    {"WoW-NR", Features{WoW: true, FineGrained: true}},
+	RWoWNR:   {"RWoW-NR", Features{RoW: true, WoW: true, FineGrained: true}},
+	RWoWRD:   {"RWoW-RD", Features{RoW: true, WoW: true, RotateData: true, FineGrained: true}},
+	RWoWRDE:  {"RWoW-RDE", Features{RoW: true, WoW: true, RotateData: true, RotateECC: true, FineGrained: true}},
+	PALP: {"PALP", Features{RoW: true, WoW: true, RotateData: true, RotateECC: true,
+		FineGrained: true, PartitionRoW: true}},
+	RWoWDCA: {"RWoW-DCA", Features{RoW: true, WoW: true, RotateData: true, RotateECC: true,
+		FineGrained: true, ContentAware: true}},
+}
+
+// Variants lists the paper's six evaluated systems in the paper's
+// order. The figure/table sweeps iterate exactly these; the follow-on
+// variants are in AllVariants.
+var Variants = []Variant{Baseline, RoWNR, WoWNR, RWoWNR, RWoWRD, RWoWRDE}
+
+// AllVariants lists every registered variant: the paper's six followed
+// by the follow-on systems.
+var AllVariants = []Variant{Baseline, RoWNR, WoWNR, RWoWNR, RWoWRD, RWoWRDE, PALP, RWoWDCA}
+
+// Known reports whether v is a registered variant.
+func (v Variant) Known() bool { return v >= 0 && int(v) < len(registry) }
+
+// Features returns the variant's capability set. Unknown variants
+// return the zero Features (every capability off).
+func (v Variant) Features() Features {
+	if !v.Known() {
+		return Features{}
+	}
+	return registry[v].feat
+}
+
+func (v Variant) String() string {
+	if !v.Known() {
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+	return registry[v].name
+}
+
+// VariantByName resolves a canonical variant name (as printed by
+// String) against the registry.
+func VariantByName(name string) (Variant, bool) {
+	for _, v := range AllVariants {
+		if registry[v].name == name {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// VariantNames lists every registered variant name in registry order.
+func VariantNames() []string {
+	names := make([]string, 0, len(AllVariants))
+	for _, v := range AllVariants {
+		names = append(names, registry[v].name)
+	}
+	return names
+}
+
+// The predicate methods below are thin compatibility views over
+// Features, kept so existing call sites and serialized results read the
+// same; new capabilities get Features fields only.
+
 // RoW reports whether the variant serves reads over ongoing writes.
-func (v Variant) RoW() bool { return v == RoWNR || v == RWoWNR || v == RWoWRD || v == RWoWRDE }
+func (v Variant) RoW() bool { return v.Features().RoW }
 
 // WoW reports whether the variant consolidates writes over ongoing writes.
-func (v Variant) WoW() bool { return v == WoWNR || v == RWoWNR || v == RWoWRD || v == RWoWRDE }
+func (v Variant) WoW() bool { return v.Features().WoW }
 
 // RotateData reports whether data words rotate across chips (addr mod 8).
-func (v Variant) RotateData() bool { return v == RWoWRD || v == RWoWRDE }
+func (v Variant) RotateData() bool { return v.Features().RotateData }
 
 // RotateECC reports whether the ECC and PCC words rotate across all ten
 // chips (addr mod 10).
-func (v Variant) RotateECC() bool { return v == RWoWRDE }
+func (v Variant) RotateECC() bool { return v.Features().RotateECC }
 
 // FineGrained reports whether the DIMM uses rank subsetting so that a
 // write only occupies the chips holding essential words. Every PCMap
 // variant needs it; the baseline does coarse whole-rank writes.
-func (v Variant) FineGrained() bool { return v != Baseline }
+func (v Variant) FineGrained() bool { return v.Features().FineGrained }
 
 // Core configures one out-of-order core of the interval model.
 type Core struct {
@@ -145,6 +268,31 @@ func (t PCMTiming) WriteLatency(anySet, anyReset bool) sim.Time {
 	}
 }
 
+// DCAWriteLatency returns the content-aware cell write time (the
+// RWoW-DCA variant): SET bits program in rounds of ceil(64/rounds) bits
+// each, so a word with few SET transitions finishes in a fraction of
+// the worst-case CellSET time, while RESET bits complete in one
+// CellRESET pulse concurrently. A fully-SET word (64 bits over `rounds`
+// rounds) costs exactly CellSET, so DCA never exceeds the baseline
+// WriteLatency; a word with no transitions costs nothing.
+func (t PCMTiming) DCAWriteLatency(sets, resets, rounds int) sim.Time {
+	if rounds < 1 {
+		rounds = 1
+	}
+	var prog sim.Time
+	if sets > 0 {
+		bitsPerRound := (64 + rounds - 1) / rounds
+		n := (sets + bitsPerRound - 1) / bitsPerRound
+		prog = (t.CellSET.Time() / sim.Time(rounds)).Times(n)
+	}
+	if resets > 0 {
+		if r := t.CellRESET.Time(); r > prog {
+			prog = r
+		}
+	}
+	return prog
+}
+
 // Memory configures the PCM main memory and its controllers.
 type Memory struct {
 	Channels      int // independent controllers/channels
@@ -193,6 +341,20 @@ type Memory struct {
 	// non-zero: the gap moves after every Psi writes, costing one line
 	// copy each time. Zero disables remapping.
 	WearLevelPsi uint64
+
+	// Partitions is the number of independently schedulable partitions
+	// each PCM bank divides into for the PALP variant (partition-level
+	// access parallelism). Must be a power of two; 0 means the default
+	// of 4. Variants without the PartitionRoW feature ignore it — their
+	// banks stay monolithic.
+	Partitions int
+
+	// DCARounds is the number of programming rounds a fully-SET word
+	// divides into under the content-aware (RWoW-DCA) write path: each
+	// round programs ceil(64/DCARounds) SET bits in CellSET/DCARounds
+	// time. Must lie in [1,64]; 0 means the default of 8. Variants
+	// without the ContentAware feature ignore it.
+	DCARounds int
 
 	// RoWMultiWord enables the Section IV-B4 extension: applying RoW to
 	// writes with more than one essential word by splitting them into a
@@ -293,6 +455,8 @@ func Default() *Config {
 			PowerSlots:          8,
 			MaxConcurrentWrites: 2,
 			WritePauseSegments:  4,
+			Partitions:          4,
+			DCARounds:           8,
 			WriteRetryLimit:     3,
 			SpareLines:          64,
 			Timing: PCMTiming{
@@ -383,7 +547,38 @@ func (c *Config) Validate() error {
 	if b := c.DRAMLLC.Banks; b < 1 || b&(b-1) != 0 {
 		return fmt.Errorf("config: DRAMLLC.Banks must be a power of two >= 1, got %d", b)
 	}
+	if !c.Variant.Known() {
+		return fmt.Errorf("config: unknown variant %d (registered: %s)", int(c.Variant), strings.Join(VariantNames(), ", "))
+	}
+	if p := c.Memory.Partitions; p != 0 && (p < 1 || p&(p-1) != 0) {
+		return fmt.Errorf("config: Partitions must be a power of two >= 1 (or 0 for the default), got %d", p)
+	}
+	if r := c.Memory.DCARounds; r < 0 || r > 64 {
+		return fmt.Errorf("config: DCARounds must lie in [1,64] (or 0 for the default), got %d", r)
+	}
 	return nil
+}
+
+// EffectivePartitions resolves the per-bank partition count the given
+// features ask for: Memory.Partitions (default 4) under PartitionRoW,
+// otherwise 1 (monolithic banks).
+func (m Memory) EffectivePartitions(f Features) int {
+	if !f.PartitionRoW {
+		return 1
+	}
+	if m.Partitions <= 0 {
+		return 4
+	}
+	return m.Partitions
+}
+
+// EffectiveDCARounds resolves the content-aware programming round
+// count: Memory.DCARounds with 0 meaning the default of 8.
+func (m Memory) EffectiveDCARounds() int {
+	if m.DCARounds <= 0 {
+		return 8
+	}
+	return m.DCARounds
 }
 
 // Geometry returns the memory shape the address map needs.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pcmap/internal/mem"
+	"pcmap/internal/sim"
 )
 
 func TestDefaultValidates(t *testing.T) {
@@ -106,5 +107,169 @@ func TestWriteToReadRatio(t *testing.T) {
 func TestTotalChips(t *testing.T) {
 	if got := Default().Memory.TotalChips(); got != 10 {
 		t.Fatalf("TotalChips = %d, want 10 (8 data + ECC + PCC)", got)
+	}
+}
+
+// TestFeaturesMatchPredicates is the exhaustive equivalence proof for
+// the API redesign: for every registered variant, the Features value
+// resolved from the registry must agree with the legacy predicate
+// methods bit for bit.
+func TestFeaturesMatchPredicates(t *testing.T) {
+	for _, v := range AllVariants {
+		f := v.Features()
+		if f.RoW != v.RoW() || f.WoW != v.WoW() ||
+			f.RotateData != v.RotateData() || f.RotateECC != v.RotateECC() ||
+			f.FineGrained != v.FineGrained() {
+			t.Fatalf("%s: Features %+v disagrees with predicate methods", v, f)
+		}
+	}
+	if f := Variant(99).Features(); f != (Features{}) {
+		t.Fatalf("unknown variant must resolve to zero Features, got %+v", f)
+	}
+}
+
+// TestVariantRegistry pins the open registry's surface: the canonical
+// names (the paper's six are frozen byte-for-byte), name lookup, and
+// the Known/String behavior on unregistered values.
+func TestVariantRegistry(t *testing.T) {
+	want := []string{"Baseline", "RoW-NR", "WoW-NR", "RWoW-NR", "RWoW-RD", "RWoW-RDE", "PALP", "RWoW-DCA"}
+	names := VariantNames()
+	if len(names) != len(want) {
+		t.Fatalf("VariantNames = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("VariantNames[%d] = %q, want %q", i, names[i], n)
+		}
+		v, ok := VariantByName(n)
+		if !ok || v.String() != n {
+			t.Fatalf("VariantByName(%q) = %v, %v", n, v, ok)
+		}
+		if !v.Known() {
+			t.Fatalf("%s must be Known", n)
+		}
+	}
+	if _, ok := VariantByName("nope"); ok {
+		t.Fatal("VariantByName must reject unknown names")
+	}
+	if got := Variant(99).String(); got != "Variant(99)" {
+		t.Fatalf("unknown variant prints %q", got)
+	}
+	if Variant(99).Known() || Variant(-1).Known() {
+		t.Fatal("out-of-range variants must not be Known")
+	}
+	// The paper's sweep list must stay exactly the original six.
+	if len(Variants) != 6 || Variants[5] != RWoWRDE {
+		t.Fatalf("Variants changed: %v", Variants)
+	}
+}
+
+// TestFeaturesSummary checks the registry listing's capability text.
+func TestFeaturesSummary(t *testing.T) {
+	if got := Baseline.Features().Summary(); got != "-" {
+		t.Fatalf("Baseline summary = %q", got)
+	}
+	if got := PALP.Features().Summary(); got != "RoW+WoW+RotateData+RotateECC+FineGrained+PartitionRoW" {
+		t.Fatalf("PALP summary = %q", got)
+	}
+	if got := RWoWDCA.Features().Summary(); got != "RoW+WoW+RotateData+RotateECC+FineGrained+ContentAware" {
+		t.Fatalf("RWoW-DCA summary = %q", got)
+	}
+}
+
+// TestDCAWriteLatency pins the content-aware write-timing model: SET
+// bits program in rounds of ceil(64/rounds) bits at CellSET/rounds per
+// round, RESET is one concurrent pulse, and the result never exceeds
+// the worst-case WriteLatency.
+func TestDCAWriteLatency(t *testing.T) {
+	tm := Default().Memory.Timing
+	set, reset := tm.CellSET.Time(), tm.CellRESET.Time()
+	if got := tm.DCAWriteLatency(0, 0, 8); got != 0 {
+		t.Fatalf("no transitions must be free, got %v", got)
+	}
+	if got := tm.DCAWriteLatency(0, 17, 8); got != reset {
+		t.Fatalf("RESET-only word = %v, want %v", got, reset)
+	}
+	if got := tm.DCAWriteLatency(64, 64, 8); got != set {
+		t.Fatalf("fully flipped word = %v, want %v", got, set)
+	}
+	if got := tm.DCAWriteLatency(1, 0, 8); got != set/8 {
+		t.Fatalf("one SET bit = %v, want %v", got, set/8)
+	}
+	// A handful of SET bits with RESETs present: the RESET pulse floors
+	// the latency when the SET rounds are quicker.
+	if got := tm.DCAWriteLatency(1, 1, 8); got != reset {
+		t.Fatalf("1 SET + RESETs = %v, want RESET floor %v", got, reset)
+	}
+	prev := sim.Time(0)
+	for sets := 0; sets <= 64; sets++ {
+		d := tm.DCAWriteLatency(sets, 0, 8)
+		if d < prev {
+			t.Fatalf("DCA latency must be monotone in SET count (sets=%d: %v < %v)", sets, d, prev)
+		}
+		if d > set {
+			t.Fatalf("DCA latency exceeds CellSET at sets=%d: %v", sets, d)
+		}
+		prev = d
+	}
+	// rounds <= 0 degrades to a single full-latency round.
+	if got := tm.DCAWriteLatency(1, 0, 0); got != set {
+		t.Fatalf("rounds=0 must behave as one round, got %v", got)
+	}
+}
+
+// TestPartitionAndDCAValidation covers the new Memory knobs' rules:
+// Partitions must be 0 or a power of two, DCARounds within [0, 64],
+// and unregistered variants are rejected outright.
+func TestPartitionAndDCAValidation(t *testing.T) {
+	for _, parts := range []int{0, 1, 2, 4, 8, 64} {
+		c := Default()
+		c.Memory.Partitions = parts
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Partitions=%d must validate: %v", parts, err)
+		}
+	}
+	for _, parts := range []int{-1, 3, 5, 6, 7, 12} {
+		c := Default()
+		c.Memory.Partitions = parts
+		if err := c.Validate(); err == nil {
+			t.Fatalf("Partitions=%d must be rejected", parts)
+		}
+	}
+	for _, rounds := range []int{-1, 65, 1000} {
+		c := Default()
+		c.Memory.DCARounds = rounds
+		if err := c.Validate(); err == nil {
+			t.Fatalf("DCARounds=%d must be rejected", rounds)
+		}
+	}
+	c := Default()
+	c.Variant = Variant(42)
+	if err := c.Validate(); err == nil {
+		t.Fatal("unregistered variant must be rejected")
+	}
+}
+
+// TestEffectivePartitions checks the resolution from config knobs plus
+// variant capability to the partition/round counts the scheduler uses.
+func TestEffectivePartitions(t *testing.T) {
+	m := Default().Memory
+	if got := m.EffectivePartitions(RWoWRDE.Features()); got != 1 {
+		t.Fatalf("non-partitioned variant must get 1 partition, got %d", got)
+	}
+	if got := m.EffectivePartitions(PALP.Features()); got != 4 {
+		t.Fatalf("PALP with default knob must get 4 partitions, got %d", got)
+	}
+	m.Partitions = 8
+	if got := m.EffectivePartitions(PALP.Features()); got != 8 {
+		t.Fatalf("PALP with Partitions=8 must get 8, got %d", got)
+	}
+	m.DCARounds = 0
+	if got := m.EffectiveDCARounds(); got != 8 {
+		t.Fatalf("default DCA rounds = %d, want 8", got)
+	}
+	m.DCARounds = 32
+	if got := m.EffectiveDCARounds(); got != 32 {
+		t.Fatalf("DCA rounds = %d, want 32", got)
 	}
 }

@@ -28,6 +28,16 @@ type Controller struct {
 	variant config.Variant
 	channel int
 
+	// feat is the variant's capability set, resolved once from the
+	// registry at construction; scheduling predicates read it instead of
+	// re-deriving capabilities from the variant identity.
+	feat config.Features
+	// parts is the partitions-per-bank count in force (1 for every
+	// variant without PartitionRoW), and dcaRounds the SET division
+	// count of the content-aware write-latency model.
+	parts     int
+	dcaRounds int
+
 	rank *dimm.Rank
 	amap *mem.AddrMap
 
@@ -265,18 +275,22 @@ func (c *Controller) newWriteEv(r *mem.Request, aw *activeWrite, power int, sile
 func NewController(eng *sim.Engine, cfgAll *config.Config, channel int, amap *mem.AddrMap, rng *sim.RNG) *Controller {
 	m := cfgAll.Memory
 	v := cfgAll.Variant
-	layout := dimm.Layout{RotateData: v.RotateData(), RotateECC: v.RotateECC()}
+	feat := v.Features()
+	layout := dimm.Layout{RotateData: feat.RotateData, RotateECC: feat.RotateECC}
 	c := &Controller{
-		eng:     eng,
-		cfg:     m,
-		variant: v,
-		channel: channel,
-		rank:    dimm.NewRank(m.BanksPerChip, layout),
-		amap:    amap,
-		rdq:     mem.NewQueue(m.ReadQueueCap),
-		wrq:     mem.NewQueue(m.WriteQueueCap),
-		rng:     rng,
-		Metrics: mem.NewMetrics(),
+		eng:       eng,
+		cfg:       m,
+		variant:   v,
+		channel:   channel,
+		feat:      feat,
+		parts:     m.EffectivePartitions(feat),
+		dcaRounds: m.EffectiveDCARounds(),
+		rank:      dimm.NewRankParts(m.BanksPerChip, m.EffectivePartitions(feat), layout),
+		amap:      amap,
+		rdq:       mem.NewQueue(m.ReadQueueCap),
+		wrq:       mem.NewQueue(m.WriteQueueCap),
+		rng:       rng,
+		Metrics:   mem.NewMetrics(),
 	}
 	c.runTimer = eng.NewTimer(c.run)
 	c.kickTimer = eng.NewTimer(c.kick)
@@ -526,7 +540,7 @@ func (c *Controller) canIssueReadsNow() bool {
 		// for reads even mid-drain.
 		return true
 	}
-	return c.variant.RoW()
+	return c.feat.RoW
 }
 
 func (c *Controller) updateDrainMode() {
@@ -587,6 +601,39 @@ func (c *Controller) reserveChip(chip, bank int, earliest, dur sim.Time) (start,
 	return c.rank.Chips[chip].Reserve(bank, earliest, dur)
 }
 
+// partOf maps a decoded coordinate onto its bank partition: PALP splits
+// a bank by row index, so consecutive rows land in different partitions
+// (parts is a validated power of two). Monolithic banks always use
+// partition 0.
+func (c *Controller) partOf(coord mem.Coord) int {
+	if c.parts <= 1 {
+		return 0
+	}
+	return int(uint64(coord.Row) & uint64(c.parts-1))
+}
+
+// chipFreePart is chipFree at partition granularity: with parts <= 1 it
+// is exactly the whole-bank check.
+func (c *Controller) chipFreePart(chip, bank, part int) bool {
+	return c.rank.Chips[chip].FreeAtPart(bank, part, c.eng.Now())
+}
+
+// reserveChipPart books one bank partition of a chip for dur.
+func (c *Controller) reserveChipPart(chip, bank, part int, earliest, dur sim.Time) (start, end sim.Time) {
+	return c.rank.Chips[chip].ReservePart(bank, part, earliest, dur)
+}
+
+// progTime converts a word's transition analysis into its programming
+// time: the paper's two-level model (any SET bit costs CellSET, else
+// any RESET bit costs CellRESET) or, for content-aware variants, the
+// DCA model driven by the actual SET/RESET bit counts.
+func (c *Controller) progTime(f pcm.FlipKind) sim.Time {
+	if c.feat.ContentAware {
+		return c.cfg.Timing.DCAWriteLatency(f.Sets, f.Resets, c.dcaRounds)
+	}
+	return c.cfg.Timing.WriteLatency(f.Sets > 0, f.Resets > 0)
+}
+
 // rowHitAll reports whether every chip in mask has row open in bank.
 func (c *Controller) rowHitAll(mask uint16, bank int, row int64) bool {
 	for i := 0; i < dimm.Slots; i++ {
@@ -621,7 +668,7 @@ func (c *Controller) lineChips(rotIdx uint64) uint16 {
 	l := c.rank.Layout
 	m := l.DataChips(rotIdx)
 	m |= 1 << uint(l.ECCChip(rotIdx))
-	if c.variant.FineGrained() {
+	if c.feat.FineGrained {
 		m |= 1 << uint(l.PCCChip(rotIdx))
 	}
 	return m

@@ -23,7 +23,7 @@ type pausedWrite struct {
 
 // pausingEnabled reports whether this controller runs the comparator.
 func (c *Controller) pausingEnabled() bool {
-	return c.cfg.WritePausing && !c.variant.FineGrained() && c.cfg.WritePauseSegments > 1
+	return c.cfg.WritePausing && !c.feat.FineGrained && c.cfg.WritePauseSegments > 1
 }
 
 // issuePausingWrite starts a coarse write in segmented, pausable form.
@@ -50,11 +50,11 @@ func (c *Controller) issuePausingWrite(r *mem.Request) {
 
 	var prog sim.Time
 	for w := 0; w < 8; w++ {
-		if d := c.cfg.Timing.WriteLatency(res.PerWord[w].Sets > 0, res.PerWord[w].Resets > 0); d > prog {
+		if d := c.progTime(res.PerWord[w]); d > prog {
 			prog = d
 		}
 	}
-	if d := c.cfg.Timing.WriteLatency(res.ECCFlips.Sets > 0, res.ECCFlips.Resets > 0); d > prog {
+	if d := c.progTime(res.ECCFlips); d > prog {
 		prog = d
 	}
 	for w := 0; w < 8; w++ {

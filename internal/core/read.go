@@ -13,10 +13,12 @@ import (
 // readPlan captures how a queued read could be served right now.
 type readPlan struct {
 	coord       mem.Coord
+	part        int  // the read's bank partition (0 with monolithic banks)
 	busyChip    int  // chip whose word must be reconstructed; -1 if none
 	missingWord int  // data word index held by busyChip
 	eccFree     bool // ECC chip idle: SECDED check can run inline
 	rowHit      bool
+	partWin     bool // serviceable only because another partition holds the busy work
 	blockedByWr bool // not serviceable, and the blocker is a write
 }
 
@@ -25,8 +27,9 @@ type readPlan struct {
 func (c *Controller) planRead(r *mem.Request) (readPlan, bool) {
 	p := readPlan{busyChip: -1, missingWord: -1}
 	p.coord = c.decode(r.Addr)
+	p.part = c.partOf(p.coord)
 	l := c.rank.Layout
-	if len(c.active) > 0 && !c.variant.RoW() {
+	if len(c.active) > 0 && !c.feat.RoW {
 		// While a write is in service the baseline (and WoW-only)
 		// controller holds reads back entirely — "the remaining chips
 		// of that rank will be idle for the long duration of this
@@ -38,23 +41,33 @@ func (c *Controller) planRead(r *mem.Request) (readPlan, bool) {
 			return p, false
 		}
 	}
+	// Chip-busy checks run at partition granularity: a chip whose bank
+	// is occupied only in another partition counts free, which is PALP's
+	// read-over-write generalization (with monolithic banks FreeAtPart
+	// is exactly the whole-bank check). partWin records that partition
+	// state made the difference for some involved chip.
 	busyCount := 0
 	for w := 0; w < ecc.WordsPerLine; w++ {
 		chip := l.DataChip(p.coord.RotIdx, w)
-		if !c.chipFree(chip, p.coord.Bank) {
+		if !c.chipFreePart(chip, p.coord.Bank, p.part) {
 			busyCount++
 			p.busyChip = chip
 			p.missingWord = w
+		} else if !c.chipFree(chip, p.coord.Bank) {
+			p.partWin = true
 		}
 	}
-	p.eccFree = c.chipFree(l.ECCChip(p.coord.RotIdx), p.coord.Bank)
+	p.eccFree = c.chipFreePart(l.ECCChip(p.coord.RotIdx), p.coord.Bank, p.part)
+	if p.eccFree && !c.chipFree(l.ECCChip(p.coord.RotIdx), p.coord.Bank) {
+		p.partWin = true
+	}
 	switch {
 	case busyCount == 0:
 		p.busyChip, p.missingWord = -1, -1
 		p.rowHit = c.rowHitAll(l.DataChips(p.coord.RotIdx), p.coord.Bank, p.coord.Row)
 		return p, true
-	case busyCount == 1 && c.variant.RoW() && c.rowServiceAllowed() &&
-		c.chipFree(l.PCCChip(p.coord.RotIdx), p.coord.Bank):
+	case busyCount == 1 && c.feat.RoW && c.rowServiceAllowed() &&
+		c.chipFreePart(l.PCCChip(p.coord.RotIdx), p.coord.Bank, p.part):
 		// Serve by reconstruction: read the seven free data words plus
 		// the PCC word and XOR the missing word back (Section IV-B).
 		mask := l.DataChips(p.coord.RotIdx) &^ (1 << uint(p.busyChip))
@@ -109,6 +122,11 @@ func (c *Controller) issueRead(r *mem.Request, p readPlan) {
 	if overlap {
 		c.Metrics.OverlapReads.Inc()
 	}
+	if p.partWin {
+		// The read proceeds only because the conflicting work sits in a
+		// different partition of its bank (PALP service).
+		c.Metrics.PartOverlapReads.Inc()
+	}
 
 	start := now
 	if p.busyChip >= 0 {
@@ -141,7 +159,7 @@ func (c *Controller) issueRead(r *mem.Request, p readPlan) {
 	burst := timing.TBurst.Time()
 	_, done := c.dataBus.Acquire(ready, burst, false)
 	for _, chip := range involved {
-		c.reserveChip(chip, p.coord.Bank, now, done-now)
+		c.reserveChipPart(chip, p.coord.Bank, p.part, now, done-now)
 		c.rank.Chips[chip].OpenRowIn(p.coord.Bank, p.coord.Row)
 		c.Metrics.IRLP.AddChipService(now, done)
 	}

@@ -18,7 +18,7 @@ func (c *Controller) tryIssueWrite() bool {
 		return false
 	}
 	overlap := len(c.active) > 0
-	if !c.variant.FineGrained() {
+	if !c.feat.FineGrained {
 		// Baseline: one coarse write at a time (it reserves the whole
 		// rank power budget and occupies the full bank).
 		if overlap || c.powerInUse > 0 {
@@ -37,11 +37,11 @@ func (c *Controller) tryIssueWrite() bool {
 		}
 		return true
 	}
-	if overlap && !c.variant.WoW() {
+	if overlap && !c.feat.WoW {
 		// Fine-grained but non-consolidating variants serialize writes.
 		return false
 	}
-	if c.variant.WoW() && c.activeWrites() >= c.cfg.MaxConcurrentWrites {
+	if c.feat.WoW && c.activeWrites() >= c.cfg.MaxConcurrentWrites {
 		return false
 	}
 	r := c.wrq.Oldest(func(r *mem.Request) bool {
@@ -81,15 +81,18 @@ func (c *Controller) fineWriteReady(r *mem.Request) bool {
 	// Essential data chips must be idle now — bank and programming
 	// circuitry both (the paper's non-overlapping-chip-sets
 	// condition); ECC/PCC updates may queue behind a busy code chip
-	// (Figure 5(d) serializes them).
+	// (Figure 5(d) serializes them). The bank check runs at partition
+	// granularity, so under PALP a write may start while a read holds
+	// another partition of the same bank.
 	now := c.eng.Now()
+	part := c.partOf(coord)
 	l := c.rank.Layout
 	for w := 0; w < ecc.WordsPerLine; w++ {
 		if ess&(1<<uint(w)) == 0 {
 			continue
 		}
 		chip := c.rank.Chips[l.DataChip(coord.RotIdx, w)]
-		if !chip.FreeAt(coord.Bank, now) || !chip.ProgFreeAt(now) {
+		if !chip.FreeAtPart(coord.Bank, part, now) || !chip.ProgFreeAt(now) {
 			return false
 		}
 	}
@@ -109,6 +112,16 @@ func (c *Controller) applyWrite(r *mem.Request, lineIdx uint64, aw *activeWrite)
 		data = &aw.intendedBuf
 	}
 	aw.intended = data
+	if c.feat.ContentAware {
+		// Content-aware variants observe the write's actual transition
+		// counts (the stored-vs-intended XOR fold) — both for the DCA
+		// latency model and for the SET/RESET distribution histograms.
+		// Snapshot before WriteWords mutates the stored line.
+		old := c.rank.Store.Peek(lineIdx)
+		tot := pcm.AnalyzeLineWrite(&old.Data, data, r.Mask)
+		c.Metrics.SetBits.Add(tot.Sets)
+		c.Metrics.ResetBits.Add(tot.Resets)
+	}
 	res := c.rank.Store.WriteWords(lineIdx, r.Mask, data)
 	var essMask uint8
 	for w := 0; w < ecc.WordsPerLine; w++ {
@@ -147,11 +160,11 @@ func (c *Controller) issueCoarseWrite(r *mem.Request) {
 	// lock-step program time of the whole bank.
 	var prog sim.Time
 	for w := 0; w < ecc.WordsPerLine; w++ {
-		if d := c.cfg.Timing.WriteLatency(res.PerWord[w].Sets > 0, res.PerWord[w].Resets > 0); d > prog {
+		if d := c.progTime(res.PerWord[w]); d > prog {
 			prog = d
 		}
 	}
-	if d := c.cfg.Timing.WriteLatency(res.ECCFlips.Sets > 0, res.ECCFlips.Resets > 0); d > prog {
+	if d := c.progTime(res.ECCFlips); d > prog {
 		prog = d
 	}
 	end := t0
@@ -183,7 +196,7 @@ func (c *Controller) issueCoarseWrite(r *mem.Request) {
 		c.Metrics.IRLP.AddWriteWindow(t0, end)
 		for w := 0; w < ecc.WordsPerLine; w++ {
 			if essMask&(1<<uint(w)) != 0 {
-				pd := c.cfg.Timing.WriteLatency(res.PerWord[w].Sets > 0, res.PerWord[w].Resets > 0)
+				pd := c.progTime(res.PerWord[w])
 				c.Metrics.IRLP.AddChipService(t0+act, t0+act+pd)
 			}
 		}
@@ -204,6 +217,22 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 	r.Started = true
 	r.Issue = now
 	coord := c.decode(r.Addr)
+	part := c.partOf(coord)
+	if c.parts > 1 {
+		// PALP accounting: this write starts while some essential chip's
+		// bank is busy in another partition (a read or write it would
+		// have waited behind under whole-bank scheduling).
+		for w := 0; w < ecc.WordsPerLine; w++ {
+			if r.Mask&(1<<uint(w)) == 0 {
+				continue
+			}
+			chip := c.rank.Layout.DataChip(coord.RotIdx, w)
+			if !c.chipFree(chip, coord.Bank) && c.chipFreePart(chip, coord.Bank, part) {
+				c.Metrics.PartOverlapWrites.Inc()
+				break
+			}
+		}
+	}
 	aw := c.newActive()
 	essMask, res := c.applyWrite(r, coord.LineIdx, aw)
 	essCount := bits.OnesCount8(essMask)
@@ -232,7 +261,7 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 			dur := c.cfg.Timing.WriteArrayRead.Time()
 			for w := 0; w < ecc.WordsPerLine; w++ {
 				chip := l.DataChip(coord.RotIdx, w)
-				_, e := c.reserveChip(chip, coord.Bank, start, dur)
+				_, e := c.reserveChipPart(chip, coord.Bank, part, start, dur)
 				c.rank.Chips[chip].OpenRowIn(coord.Bank, coord.Row)
 				if e > end {
 					end = e
@@ -260,7 +289,7 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 	// The two-step RoW split staggers the PCC update after the
 	// data+ECC step, so its peak concurrent programming is one word
 	// lower than an unsplit write's.
-	rowSplit := c.variant.RoW() && (c.rdq.Len() > 0 || c.draining) &&
+	rowSplit := c.feat.RoW && (c.rdq.Len() > 0 || c.draining) &&
 		(essCount == 1 || c.cfg.RoWMultiWord)
 	power := essCount + 2
 	if rowSplit {
@@ -282,8 +311,8 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 		if !chip.RowHit(coord.Bank, coord.Row) {
 			act = timing.WriteArrayRead.Time()
 		}
-		prog := timing.WriteLatency(j.flips.Sets > 0, j.flips.Resets > 0)
-		s, e := chip.ReserveProgram(coord.Bank, earliest, act, prog)
+		prog := c.progTime(j.flips)
+		s, e := chip.ReserveProgramPart(coord.Bank, part, earliest, act, prog)
 		chip.OpenRowIn(coord.Bank, coord.Row)
 		if j.flips.Any() {
 			chip.CountWrite(j.flips)
@@ -346,7 +375,7 @@ func (c *Controller) issueFineWrite(r *mem.Request, overlap bool) {
 }
 
 func (c *Controller) completeWrite(r *mem.Request, aw *activeWrite) {
-	if !c.variant.FineGrained() {
+	if !c.feat.FineGrained {
 		c.powerInUse = 0
 	}
 	c.removeActive(aw)

@@ -95,19 +95,34 @@ type Rank struct {
 	Store  *pcm.Store
 	Layout Layout
 	banks  int
+	parts  int
 }
 
-// NewRank builds a rank with the given bank count and layout.
+// NewRank builds a rank with the given bank count and layout, with
+// monolithic (unpartitioned) banks.
 func NewRank(banks int, layout Layout) *Rank {
-	r := &Rank{Store: pcm.NewStore(), Layout: layout, banks: banks}
+	return NewRankParts(banks, 1, layout)
+}
+
+// NewRankParts builds a rank whose chips split every bank into parts
+// independently schedulable partitions (PALP). parts <= 1 is identical
+// to NewRank.
+func NewRankParts(banks, parts int, layout Layout) *Rank {
+	if parts < 1 {
+		parts = 1
+	}
+	r := &Rank{Store: pcm.NewStore(), Layout: layout, banks: banks, parts: parts}
 	for i := 0; i < Slots; i++ {
-		r.Chips = append(r.Chips, pcm.NewChip(i, banks))
+		r.Chips = append(r.Chips, pcm.NewChipParts(i, banks, parts))
 	}
 	return r
 }
 
 // Banks returns the number of banks per chip.
 func (r *Rank) Banks() int { return r.banks }
+
+// Partitions returns the partitions-per-bank count (1 = monolithic).
+func (r *Rank) Partitions() int { return r.parts }
 
 // Instrument attaches every chip-bank of the rank to timeline tracks
 // grouped under "pcm chan<channel>". A nil tracer is a no-op.

@@ -25,11 +25,11 @@ func Ablations(ctx context.Context, r *Runner) (*FigureResult, error) {
 	// Ablation configs are not expressible as Specs (they mutate knobs
 	// the Spec doesn't carry), so they bypass the runner's memo and
 	// cache; cancellation is honored between runs.
-	run := func(name, setting string, mut func(*config.Config), merit func(*system.Results) string) error {
+	runV := func(variant config.Variant, name, setting string, mut func(*config.Config), merit func(*system.Results) string) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		cfg := config.Default().WithVariant(config.RWoWRDE)
+		cfg := config.Default().WithVariant(variant)
 		mut(cfg)
 		s, err := system.New(system.WithConfig(cfg), system.WithWorkload(workload))
 		if err != nil {
@@ -42,6 +42,10 @@ func Ablations(ctx context.Context, r *Runner) (*FigureResult, error) {
 		f.set(name+"/"+setting, "ipc", res.IPCSum)
 		f.Table.AddRow(name, setting, stats.F(res.IPCSum), merit(res))
 		return nil
+	}
+	// Pre-existing knobs all ablate the full PCMap design.
+	run := func(name, setting string, mut func(*config.Config), merit func(*system.Results) string) error {
+		return runV(config.RWoWRDE, name, setting, mut, merit)
 	}
 
 	for _, alpha := range []float64{0.6, 0.8, 0.95} {
@@ -112,7 +116,30 @@ func Ablations(ctx context.Context, r *Runner) (*FigureResult, error) {
 			return nil, err
 		}
 	}
+	for _, parts := range []int{2, 4, 8} {
+		parts := parts
+		if err := runV(config.PALP, "palp-partitions", fmt.Sprintf("%d", parts),
+			func(c *config.Config) { c.Memory.Partitions = parts },
+			func(res *system.Results) string {
+				return fmt.Sprintf("%d part overlaps",
+					res.Mem.PartOverlapReads.Value()+res.Mem.PartOverlapWrites.Value())
+			}); err != nil {
+			return nil, err
+		}
+	}
+	for _, rounds := range []int{2, 8, 32} {
+		rounds := rounds
+		if err := runV(config.RWoWDCA, "dca-rounds", fmt.Sprintf("%d", rounds),
+			func(c *config.Config) { c.Memory.DCARounds = rounds },
+			func(res *system.Results) string {
+				return fmt.Sprintf("%.2f writes/us", res.Mem.WriteThroughput())
+			}); err != nil {
+			return nil, err
+		}
+	}
 	f.Notes = append(f.Notes,
-		"All rows run RWoW-RDE on MP6; only the named knob varies from Table I defaults.")
+		"All rows run RWoW-RDE on MP6 unless the knob names a follow-on variant",
+		"(palp-partitions runs PALP, dca-rounds runs RWoW-DCA); only the named knob",
+		"varies from Table I defaults.")
 	return f, nil
 }

@@ -489,3 +489,59 @@ func Pausing(ctx context.Context, r *Runner) (*FigureResult, error) {
 		"consolidates writes, so it should dominate on write-intense workloads.")
 	return f, nil
 }
+
+// Palp compares the two follow-on variants against the full PCMap
+// design (RWoW-RDE): PALP (partition-level access parallelism, arXiv
+// 1908.07966) and RWoW-DCA (data-content-aware write timing, arXiv
+// 2005.04753). The part-overlap column counts accesses served only
+// because the conflicting work sat in another partition of the same
+// bank — zero by construction for every non-partitioned variant.
+func Palp(ctx context.Context, r *Runner) (*FigureResult, error) {
+	names := workloads.EvaluationSet()
+	var specs []Spec
+	for _, n := range names {
+		specs = append(specs,
+			Spec{Workload: n, Variant: config.RWoWRDE},
+			Spec{Workload: n, Variant: config.PALP},
+			Spec{Workload: n, Variant: config.RWoWDCA})
+	}
+	if err := r.RunAll(ctx, specs); err != nil {
+		return nil, err
+	}
+	f := newFigure("palp", "Extension: PALP + content-aware writes vs RWoW-RDE")
+	f.Table = &stats.Table{Title: f.Title,
+		Headers: []string{"workload", "PALP IPC imp", "DCA IPC imp", "PALP read-lat (norm)",
+			"DCA write-tput (norm)", "overlap reads RDE", "overlap reads PALP", "part overlaps"}}
+	for _, n := range names {
+		rde := r.MustRun(Spec{Workload: n, Variant: config.RWoWRDE})
+		palp := r.MustRun(Spec{Workload: n, Variant: config.PALP})
+		dca := r.MustRun(Spec{Workload: n, Variant: config.RWoWDCA})
+		rl := rde.Mem.ReadLatency.MeanNS()
+		wt := rde.Mem.WriteThroughput()
+		if rl <= 0 || wt <= 0 || rde.IPCSum <= 0 {
+			continue
+		}
+		partOverlaps := palp.Mem.PartOverlapReads.Value() + palp.Mem.PartOverlapWrites.Value()
+		f.set(n, "palpIPC", palp.IPCSum/rde.IPCSum-1)
+		f.set(n, "dcaIPC", dca.IPCSum/rde.IPCSum-1)
+		f.set(n, "palpReadLat", palp.Mem.ReadLatency.MeanNS()/rl)
+		f.set(n, "dcaWriteTput", dca.Mem.WriteThroughput()/wt)
+		f.set(n, "overlapReadsRDE", float64(rde.Mem.OverlapReads.Value()))
+		f.set(n, "overlapReadsPALP", float64(palp.Mem.OverlapReads.Value()))
+		f.set(n, "partOverlaps", float64(partOverlaps))
+		f.Table.AddRow(n,
+			stats.Pct(palp.IPCSum/rde.IPCSum-1),
+			stats.Pct(dca.IPCSum/rde.IPCSum-1),
+			stats.F(palp.Mem.ReadLatency.MeanNS()/rl),
+			stats.F(dca.Mem.WriteThroughput()/wt),
+			fmt.Sprintf("%d", rde.Mem.OverlapReads.Value()),
+			fmt.Sprintf("%d", palp.Mem.OverlapReads.Value()),
+			fmt.Sprintf("%d", partOverlaps))
+	}
+	f.Notes = append(f.Notes,
+		"PALP splits each bank into partitions and serves a read while a write occupies a",
+		"different partition of the same bank; part overlaps count those services (always 0",
+		"for the paper's six variants). RWoW-DCA computes each chip-word's programming time",
+		"from the differential write's actual SET/RESET bit counts.")
+	return f, nil
+}

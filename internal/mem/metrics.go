@@ -27,6 +27,19 @@ type Metrics struct {
 	WoWOverlapped stats.Counter // writes issued while another write ongoing
 	OverlapReads  stats.Counter // reads issued while a write was in service
 
+	// Partition-level parallelism (the PALP variant). A "part overlap"
+	// is an access that proceeded only because the conflicting work sat
+	// in a different partition of its bank — exactly the service the
+	// whole-bank scheduler would have delayed.
+	PartOverlapReads  stats.Counter
+	PartOverlapWrites stats.Counter
+
+	// Content-aware write distributions (the RWoW-DCA variant): SET and
+	// RESET transition counts per serviced write, over the whole line
+	// (0..512 bits). Nil on variants without ContentAware observation.
+	SetBits   *stats.Histogram
+	ResetBits *stats.Histogram
+
 	ECCCorrected stats.Counter // SECDED single-bit corrections on reads
 
 	// Reliability path (fault injection + program-and-verify; the
@@ -77,6 +90,8 @@ func NewMetrics() *Metrics {
 		WriteLatency:  stats.NewLatencyTracker(),
 		VerifyLatency: stats.NewLatencyTracker(),
 		DirtyWords:    stats.NewHistogram(9),
+		SetBits:       stats.NewHistogram(513),
+		ResetBits:     stats.NewHistogram(513),
 		IRLP:          stats.NewIRLP(),
 	}
 	m.reg = stats.NewRegistry()
@@ -115,6 +130,8 @@ func (m *Metrics) bind(r *stats.Registry) {
 	r.Register("status_polls", &m.StatusPolls)
 	r.Register("wear_moves", &m.WearMoves)
 	r.Register("write_pauses", &m.WritePauses)
+	r.Register("part_overlap_reads", &m.PartOverlapReads)
+	r.Register("part_overlap_writes", &m.PartOverlapWrites)
 }
 
 // registry returns the metrics block's private counter index, building
@@ -178,6 +195,12 @@ func (m *Metrics) Reset() {
 	m.WriteLatency.Reset()
 	m.VerifyLatency.Reset()
 	m.DirtyWords.Reset()
+	if m.SetBits != nil {
+		m.SetBits.Reset()
+	}
+	if m.ResetBits != nil {
+		m.ResetBits.Reset()
+	}
 	m.IRLP.Reset()
 	m.FirstArrival = 0
 	m.LastDone = 0
@@ -205,6 +228,14 @@ func (m *Metrics) Merge(other *Metrics) {
 	stats.MergeLatency(m.WriteLatency, other.WriteLatency)
 	stats.MergeLatency(m.VerifyLatency, other.VerifyLatency)
 	stats.MergeHistogram(m.DirtyWords, other.DirtyWords)
+	// The bit histograms are nil on metrics decoded from a pre-DCA disk
+	// cache; skip them rather than resurrecting empty ones.
+	if m.SetBits != nil && other.SetBits != nil {
+		stats.MergeHistogram(m.SetBits, other.SetBits)
+	}
+	if m.ResetBits != nil && other.ResetBits != nil {
+		stats.MergeHistogram(m.ResetBits, other.ResetBits)
+	}
 	if other.HaveArrival {
 		m.NoteArrival(other.FirstArrival)
 	}

@@ -32,6 +32,17 @@ type Chip struct {
 	// the contention PCMap's ECC/PCC rotation removes.
 	ProgBusyUntil sim.Time
 
+	// Partition state (PALP). With parts > 1 each bank splits into
+	// parts independently schedulable partitions: partBusy[bank*parts+p]
+	// is partition p's busy-until time, and ChipBank.BusyUntil stays the
+	// maximum over the bank's partitions so every whole-bank view
+	// (StatusFlags, verify timing, the six paper variants' scheduling)
+	// remains conservative and unchanged. parts <= 1 means monolithic
+	// banks: partBusy is nil and the partition entry points delegate to
+	// the whole-bank ones.
+	parts    int
+	partBusy []sim.Time
+
 	// Endurance / activity counters.
 	WordWrites uint64 // word-granularity programming operations
 	BitsSet    uint64 // cells programmed 0->1
@@ -50,12 +61,26 @@ type Chip struct {
 
 // NewChip returns a chip with banks closed and idle.
 func NewChip(id, banks int) *Chip {
-	c := &Chip{ID: id, Banks: make([]ChipBank, banks)}
+	c := &Chip{ID: id, Banks: make([]ChipBank, banks), parts: 1}
 	for i := range c.Banks {
 		c.Banks[i].OpenRow = NoRow
 	}
 	return c
 }
+
+// NewChipParts returns a chip whose banks split into parts partitions
+// each (PALP). parts <= 1 is identical to NewChip.
+func NewChipParts(id, banks, parts int) *Chip {
+	c := NewChip(id, banks)
+	if parts > 1 {
+		c.parts = parts
+		c.partBusy = make([]sim.Time, banks*parts)
+	}
+	return c
+}
+
+// Partitions returns the partitions-per-bank count (1 = monolithic).
+func (c *Chip) Partitions() int { return c.parts }
 
 // Instrument attaches the chip's banks to timeline tracks under the
 // given process group ("pcm chan0", ...). Call once at construction
@@ -131,6 +156,72 @@ func (c *Chip) ReserveProgram(bank int, earliest, act, prog sim.Time) (start, en
 // ProgFreeAt reports whether the chip's programming circuitry is idle
 // at time t.
 func (c *Chip) ProgFreeAt(t sim.Time) bool { return c.ProgBusyUntil <= t }
+
+// FreeAtPart reports whether partition part of the given bank is idle
+// at time t. With monolithic banks it is FreeAt: the whole bank.
+func (c *Chip) FreeAtPart(bank, part int, t sim.Time) bool {
+	if c.parts <= 1 {
+		return c.FreeAt(bank, t)
+	}
+	return c.partBusy[bank*c.parts+part] <= t
+}
+
+// ReservePart books one partition of a chip-bank for a service
+// interval: the partition serializes its own operations, while the
+// bank's whole-bank BusyUntil advances to the max over partitions so
+// non-partition-aware views stay conservative. Monolithic banks
+// delegate to Reserve.
+func (c *Chip) ReservePart(bank, part int, earliest, dur sim.Time) (start, end sim.Time) {
+	if c.parts <= 1 {
+		return c.Reserve(bank, earliest, dur)
+	}
+	idx := bank*c.parts + part
+	start = earliest
+	if c.partBusy[idx] > start {
+		start = c.partBusy[idx]
+	}
+	end = start + dur
+	c.partBusy[idx] = end
+	if b := &c.Banks[bank]; end > b.BusyUntil {
+		b.BusyUntil = end
+	}
+	c.BusySum += dur
+	c.trace.Span(c.trackFor(bank), c.nmArray, start, dur)
+	return start, end
+}
+
+// ReserveProgramPart books a programming operation on one partition of
+// a chip-bank: the array read (act) occupies the partition only, while
+// the cell-programming phase still serializes chip-wide through
+// ProgBusyUntil (write-power delivery is a die-level resource even with
+// partitioned banks — PALP overlaps a read's array access with a
+// write's programming, not two programmings). Monolithic banks delegate
+// to ReserveProgram.
+func (c *Chip) ReserveProgramPart(bank, part int, earliest, act, prog sim.Time) (start, end sim.Time) {
+	if c.parts <= 1 {
+		return c.ReserveProgram(bank, earliest, act, prog)
+	}
+	idx := bank*c.parts + part
+	start = earliest
+	if c.partBusy[idx] > start {
+		start = c.partBusy[idx]
+	}
+	progStart := start + act
+	if prog > 0 && c.ProgBusyUntil > progStart {
+		progStart = c.ProgBusyUntil
+	}
+	end = progStart + prog
+	c.partBusy[idx] = end
+	if b := &c.Banks[bank]; end > b.BusyUntil {
+		b.BusyUntil = end
+	}
+	if prog > 0 {
+		c.ProgBusyUntil = end
+	}
+	c.BusySum += end - start
+	c.trace.Span(c.trackFor(bank), c.nmProgram, start, end-start)
+	return start, end
+}
 
 // RowHit reports whether row is open in the chip's bank.
 func (c *Chip) RowHit(bank int, row int64) bool { return c.Banks[bank].OpenRow == row }

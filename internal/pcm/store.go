@@ -141,6 +141,29 @@ func AnalyzeWordWrite(oldWord, newWord uint64) FlipKind {
 	}
 }
 
+// AnalyzeLineWrite folds the transitions of a masked line write over
+// the whole line: the SET/RESET totals of overwriting the stored
+// content old with the intended content new on every word selected by
+// mask. It is the content-aware (DCA) write path's kernel — one
+// OnesCount64 fold per masked word, in the style of the ECC kernels:
+// allocation-free and branch-light (the BENCH_3.json ledger pins it at
+// 0 allocs/op). The totals equal the sum over WriteWords' PerWord
+// analysis for the same inputs.
+func AnalyzeLineWrite(old, new *[ecc.LineBytes]byte, mask uint8) FlipKind {
+	var f FlipKind
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		oldWord := ecc.Word(old, w)
+		newWord := ecc.Word(new, w)
+		changed := oldWord ^ newWord
+		f.Sets += bits.OnesCount64(changed & newWord)
+		f.Resets += bits.OnesCount64(changed & oldWord)
+	}
+	return f
+}
+
 // WriteResult summarizes the functional effect of a line write.
 type WriteResult struct {
 	PerWord    [ecc.WordsPerLine]FlipKind // data-word transitions

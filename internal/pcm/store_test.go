@@ -238,3 +238,106 @@ func TestChipRowState(t *testing.T) {
 		t.Fatal("row state per bank is wrong")
 	}
 }
+
+// TestAnalyzeLineWriteMatchesWriteWords proves the DCA kernel against
+// the store's own per-word analysis: for any stored content, intended
+// content, and mask, AnalyzeLineWrite's totals equal the sum over
+// WriteWords' PerWord transitions.
+func TestAnalyzeLineWriteMatchesWriteWords(t *testing.T) {
+	rng := sim.NewRNG(41)
+	for trial := 0; trial < 200; trial++ {
+		s := NewStore()
+		lineIdx := rng.Uint64() % 1024
+		if trial%4 != 0 {
+			// Three in four trials overwrite existing content; the rest
+			// hit a never-written (all-zero) line.
+			s.WriteWords(lineIdx, 0xff, randomLine(rng))
+		}
+		mask := uint8(rng.Uint64())
+		next := randomLine(rng)
+		if trial%5 == 0 {
+			// Partially-identical content: silent words must add zero.
+			old := s.Peek(lineIdx)
+			for w := 0; w < ecc.WordsPerLine; w++ {
+				if w%2 == 0 {
+					ecc.SetWord(next, w, ecc.Word(&old.Data, w))
+				}
+			}
+		}
+		old := s.Peek(lineIdx)
+		got := AnalyzeLineWrite(&old.Data, next, mask)
+		res := s.WriteWords(lineIdx, mask, next)
+		var want FlipKind
+		for w := 0; w < ecc.WordsPerLine; w++ {
+			want.Sets += res.PerWord[w].Sets
+			want.Resets += res.PerWord[w].Resets
+		}
+		if got != want {
+			t.Fatalf("trial %d (mask %#x): AnalyzeLineWrite = %+v, WriteWords sum = %+v",
+				trial, mask, got, want)
+		}
+	}
+}
+
+// TestAnalyzeLineWriteMask checks that only masked words contribute.
+func TestAnalyzeLineWriteMask(t *testing.T) {
+	rng := sim.NewRNG(42)
+	old, next := randomLine(rng), randomLine(rng)
+	if f := AnalyzeLineWrite(old, next, 0); f != (FlipKind{}) {
+		t.Fatalf("empty mask must analyze to zero, got %+v", f)
+	}
+	one := AnalyzeLineWrite(old, next, 1)
+	want := AnalyzeWordWrite(ecc.Word(old, 0), ecc.Word(next, 0))
+	if one != want {
+		t.Fatalf("single-word mask = %+v, want %+v", one, want)
+	}
+}
+
+// TestChipPartitions covers the PALP partition state: FreeAtPart sees
+// per-partition busy times, whole-bank views stay conservative (max
+// over partitions), and parts<=1 delegates to the monolithic methods.
+func TestChipPartitions(t *testing.T) {
+	c := NewChipParts(0, 2, 4)
+	if c.Partitions() != 4 {
+		t.Fatalf("Partitions = %d, want 4", c.Partitions())
+	}
+	// Reserve partition 1 of bank 0 for [0, 100).
+	start, end := c.ReservePart(0, 1, 0, 100)
+	if start != 0 || end != 100 {
+		t.Fatalf("ReservePart = [%v, %v)", start, end)
+	}
+	if c.FreeAtPart(0, 1, 50) {
+		t.Fatal("partition 1 must be busy at 50")
+	}
+	if !c.FreeAtPart(0, 2, 50) {
+		t.Fatal("partition 2 must be free while partition 1 is busy")
+	}
+	if c.FreeAt(0, 50) {
+		t.Fatal("whole-bank view must be conservative: bank 0 busy at 50")
+	}
+	if !c.FreeAtPart(1, 1, 50) {
+		t.Fatal("bank 1 must be unaffected")
+	}
+	// A second reservation on the same partition queues behind the first.
+	if s2, _ := c.ReservePart(0, 1, 0, 10); s2 != 100 {
+		t.Fatalf("same-partition reservation must serialize, start = %v", s2)
+	}
+	// Programming serializes chip-wide even across partitions.
+	_, e3 := c.ReserveProgramPart(0, 2, 0, 10, 50)
+	if e3 != 60 {
+		t.Fatalf("program on partition 2 = end %v, want 60", e3)
+	}
+	if s4, _ := c.ReserveProgramPart(1, 0, 0, 0, 20); s4 != 0 {
+		t.Fatalf("other-bank program may start at 0, started %v", s4)
+	}
+	if c.ProgBusyUntil != 80 {
+		t.Fatalf("ProgBusyUntil = %v, want 80 (chip-wide serialization)", c.ProgBusyUntil)
+	}
+
+	// Monolithic chips: the partition entry points are the whole-bank ones.
+	m := NewChipParts(1, 1, 1)
+	m.ReservePart(0, 3, 0, 100)
+	if m.FreeAtPart(0, 2, 50) || m.FreeAt(0, 50) {
+		t.Fatal("parts=1 must delegate to whole-bank state")
+	}
+}

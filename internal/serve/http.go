@@ -138,16 +138,13 @@ func (s *Server) parseJob(req JobRequest) (*task, *errorBody) {
 	return t, nil
 }
 
-// lookupVariant resolves a variant name against config.Variants.
+// lookupVariant resolves a variant name against the variant registry
+// (the paper's six plus the registered follow-on systems).
 func lookupVariant(name string) (config.Variant, error) {
-	var names []string
-	for _, v := range config.Variants {
-		if v.String() == name {
-			return v, nil
-		}
-		names = append(names, v.String())
+	if v, ok := config.VariantByName(name); ok {
+		return v, nil
 	}
-	return 0, fmt.Errorf("unknown variant %q (want one of %s)", name, strings.Join(names, ", "))
+	return 0, fmt.Errorf("unknown variant %q (want one of %s)", name, strings.Join(config.VariantNames(), ", "))
 }
 
 // handleJob is POST /v1/jobs: parse, admit, wait, answer.

@@ -446,3 +446,30 @@ func parseMetrics(t *testing.T, text string) map[string]int64 {
 	}
 	return m
 }
+
+// TestServeAcceptsRegisteredVariants pins the open-registry contract on
+// the wire: every name the variant registry exposes — the paper's six
+// plus the follow-on systems (PALP, RWoW-DCA) — is a valid job spec,
+// with no serve-side allowlist to fall out of date.
+func TestServeAcceptsRegisteredVariants(t *testing.T) {
+	tune := func(r *exp.Runner) {
+		r.SetSimulate(func(_ context.Context, _ *config.Config, workload string, _, _ uint64) (*system.Results, error) {
+			return stubResults(workload), nil
+		})
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, tune: tune})
+
+	names := config.VariantNames()
+	if len(names) < 8 {
+		t.Fatalf("registry lists %d variants, want the six paper systems plus PALP and RWoW-DCA", len(names))
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			status, body := postJob(t, ts.URL, JobRequest{Workload: "MP4", Variant: name})
+			if status != http.StatusOK {
+				t.Errorf("variant %q rejected: status %d, body %s", name, status, body)
+			}
+		})
+	}
+}
